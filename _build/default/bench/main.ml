@@ -1,0 +1,194 @@
+(* Benchmark and experiment harness.
+
+   Usage:
+     dune exec bench/main.exe            -- experiments + microbenches
+     dune exec bench/main.exe -- exp     -- experiment tables only
+     dune exec bench/main.exe -- micro   -- bechamel microbenches only
+     dune exec bench/main.exe -- markdown -- tables as markdown (for
+                                             EXPERIMENTS.md)
+
+   One experiment table per paper artifact (figures, algorithms,
+   theorems — see DESIGN.md §5), plus Bechamel microbenches for the hot
+   kernels every experiment leans on. *)
+
+open Graphkit
+open Bechamel
+open Toolkit
+
+(* ---- microbench subjects --------------------------------------------- *)
+
+let threshold_system n t =
+  let members = Pid.Set.of_range 1 n in
+  Fbqs.Quorum.system_of_list
+    (List.map
+       (fun i -> (i, Fbqs.Slice.threshold ~members ~threshold:t))
+       (Pid.Set.elements members))
+
+let bench_is_quorum_symbolic =
+  let n = 1000 in
+  let sys = threshold_system n ((2 * n / 3) + 1) in
+  let q = Pid.Set.of_range 1 ((3 * n / 4) + 1) in
+  Test.make ~name:"is_quorum/symbolic n=1000" (Staged.stage (fun () ->
+      ignore (Fbqs.Quorum.is_quorum sys q)))
+
+let bench_is_quorum_explicit =
+  let n = 12 in
+  let members = Pid.Set.of_range 1 n in
+  let sym = Fbqs.Slice.threshold ~members ~threshold:8 in
+  let explicit = Fbqs.Slice.explicit (Fbqs.Slice.enumerate sym) in
+  let sys =
+    Fbqs.Quorum.system_of_list
+      (List.map (fun i -> (i, explicit)) (Pid.Set.elements members))
+  in
+  let q = Pid.Set.of_range 1 9 in
+  Test.make ~name:"is_quorum/explicit n=12 (495 slices)"
+    (Staged.stage (fun () -> ignore (Fbqs.Quorum.is_quorum sys q)))
+
+let bench_greatest_quorum =
+  let n = 200 in
+  let sys = threshold_system n ((2 * n / 3) + 1) in
+  let universe = Pid.Set.of_range 1 n in
+  Test.make ~name:"greatest_quorum_within n=200" (Staged.stage (fun () ->
+      ignore (Fbqs.Quorum.greatest_quorum_within sys universe)))
+
+let bench_scc =
+  let g = Generators.circulant ~n:2000 ~k:3 in
+  Test.make ~name:"scc/tarjan circulant n=2000" (Staged.stage (fun () ->
+      ignore (Scc.components g)))
+
+let bench_disjoint_paths =
+  let g = Generators.random_k_osr ~seed:5 ~sink_size:20 ~non_sink:20 ~k:3 () in
+  Test.make ~name:"menger/disjoint-paths n=40" (Staged.stage (fun () ->
+      ignore (Connectivity.node_disjoint_paths g 39 0)))
+
+let bench_kosr_check =
+  let g = Generators.random_k_osr ~seed:6 ~sink_size:8 ~non_sink:6 ~k:2 () in
+  Test.make ~name:"k-osr-check n=14 k=2" (Staged.stage (fun () ->
+      ignore (Properties.is_k_osr g 2)))
+
+let bench_event_queue =
+  Test.make ~name:"event-queue push+pop x1000" (Staged.stage (fun () ->
+      let q = Simkit.Event_queue.create () in
+      for i = 0 to 999 do
+        Simkit.Event_queue.push q ~time:(i * 7919 mod 1000) i
+      done;
+      let rec drain () =
+        match Simkit.Event_queue.pop q with
+        | Some _ -> drain ()
+        | None -> ()
+      in
+      drain ()))
+
+let bench_v_blocking =
+  let n = 1000 in
+  let sys = threshold_system n ((2 * n / 3) + 1) in
+  let b = Pid.Set.of_range 1 ((n / 3) + 1) in
+  Test.make ~name:"v-blocking/symbolic n=1000" (Staged.stage (fun () ->
+      ignore (Fbqs.Quorum.is_v_blocking sys 1 b)))
+
+let bench_sink_oracle =
+  let g = Generators.random_k_osr ~seed:7 ~sink_size:30 ~non_sink:30 ~k:3 () in
+  Test.make ~name:"sink-oracle/condensation n=60" (Staged.stage (fun () ->
+      ignore (Cup.Sink_oracle.get_sink g 0)))
+
+let bench_scp_small_instance =
+  Test.make ~name:"scp/4-node-consensus (end-to-end)"
+    (Staged.stage (fun () ->
+         let sys = threshold_system 4 3 in
+         ignore
+           (Scp.Runner.run ~seed:1 ~system:sys
+              ~peers_of:(fun _ -> Pid.Set.of_range 1 4)
+              ~initial_value_of:(fun i -> Scp.Value.of_ints [ i ])
+              ~fault_of:(fun _ -> None)
+              ())))
+
+let bench_blocking_cascade =
+  let n = 200 in
+  let sys = threshold_system n ((2 * n / 3) + 1) in
+  let down = Pid.Set.of_range 1 (n / 3) in
+  Test.make ~name:"analysis/blocking-cascade n=200" (Staged.stage (fun () ->
+      ignore (Fbqs.Analysis.blocking_cascade sys ~down)))
+
+let bench_dset_check =
+  let sys = threshold_system 10 7 in
+  let b = Pid.Set.of_range 1 2 in
+  Test.make ~name:"dset/is_dset n=10" (Staged.stage (fun () ->
+      ignore (Fbqs.Dset.is_dset sys b)))
+
+let bench_parse_roundtrip =
+  let g = Generators.random_k_osr ~seed:9 ~sink_size:40 ~non_sink:40 ~k:3 () in
+  let text = Parse.to_string g in
+  Test.make ~name:"parse/adjacency n=80" (Staged.stage (fun () ->
+      ignore (Parse.of_string text)))
+
+let microbenches =
+  Test.make_grouped ~name:"kernels" ~fmt:"%s %s"
+    [
+      bench_is_quorum_symbolic;
+      bench_is_quorum_explicit;
+      bench_greatest_quorum;
+      bench_scc;
+      bench_disjoint_paths;
+      bench_kosr_check;
+      bench_event_queue;
+      bench_v_blocking;
+      bench_sink_oracle;
+      bench_scp_small_instance;
+      bench_blocking_cascade;
+      bench_dset_check;
+      bench_parse_roundtrip;
+    ]
+
+let run_microbenches () =
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] microbenches in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Format.printf "== Microbenches (Bechamel, monotonic clock) ==@.";
+  Format.printf "%-45s  %s@." "kernel" "time/run";
+  Format.printf "%s@." (String.make 65 '-');
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Format.printf "%-45s  %s@." name human)
+    rows;
+  Format.printf "@."
+
+(* ---- main ------------------------------------------------------------ *)
+
+let run_experiments ~markdown =
+  let tables = Stellar_cup.Experiments.all ~seed:1 () in
+  if markdown then
+    List.iter
+      (fun t -> print_string (Stellar_cup.Report.to_markdown t))
+      tables
+  else List.iter Stellar_cup.Report.print tables
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "exp" -> run_experiments ~markdown:false
+  | "markdown" -> run_experiments ~markdown:true
+  | "micro" -> run_microbenches ()
+  | _ ->
+      run_experiments ~markdown:false;
+      run_microbenches ()

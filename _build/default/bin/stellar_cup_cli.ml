@@ -1,0 +1,257 @@
+(* stellar-cup — command-line front end.
+
+   Subcommands:
+     analyze     structural analysis of a knowledge graph (SCC, sink,
+                 k-OSR, Byzantine safety)
+     sink        run the distributed sink detector (Algorithm 3)
+     consensus   run a consensus pipeline (scp-local / scp-sd / bftcup)
+     experiment  print one experiment table (e1..e12, e4b) or all
+     dot         emit a Graphviz rendering of a generated graph
+
+   Graphs are selected with --graph fig1 | fig2 | random | family plus
+   the generator parameters. *)
+
+open Graphkit
+open Cmdliner
+
+(* ---- graph selection -------------------------------------------------- *)
+
+type graph_spec = {
+  kind : string;
+  seed : int;
+  sink_size : int;
+  non_sink : int;
+  f : int;
+}
+
+let build_graph spec =
+  match spec.kind with
+  | "fig1" -> Builtin.fig1
+  | "fig2" -> Builtin.fig2
+  | "family" ->
+      Generators.fig2_family ~sink_size:spec.sink_size
+        ~non_sink:spec.non_sink
+  | "random" ->
+      Generators.random_k_osr ~seed:spec.seed ~sink_size:spec.sink_size
+        ~non_sink:spec.non_sink
+        ~k:((2 * spec.f) + 1)
+        ()
+  | other when String.length other > 5 && String.sub other 0 5 = "file:" -> (
+      let path = String.sub other 5 (String.length other - 5) in
+      match Parse.of_file path with
+      | Ok g -> g
+      | Error e -> failwith (Printf.sprintf "cannot read %s: %s" path e))
+  | other -> failwith (Printf.sprintf "unknown graph kind %S" other)
+
+let graph_term =
+  let kind =
+    Arg.(
+      value
+      & opt string "fig2"
+      & info [ "graph" ] ~docv:"KIND"
+          ~doc:"Graph: fig1, fig2, family (generalized counter-example), \
+                random (k-OSR with k = 2f+1), or file:PATH (adjacency \
+                list: one 'vertex: succ succ ...' line per vertex).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let sink_size =
+    Arg.(
+      value & opt int 5
+      & info [ "sink-size" ] ~docv:"N" ~doc:"Sink size for generators.")
+  in
+  let non_sink =
+    Arg.(
+      value & opt int 4
+      & info [ "non-sink" ] ~docv:"N"
+          ~doc:"Number of non-sink members for generators.")
+  in
+  let f =
+    Arg.(
+      value & opt int 1
+      & info [ "f" ] ~docv:"N" ~doc:"Fault threshold f.")
+  in
+  let make kind seed sink_size non_sink f =
+    { kind; seed; sink_size; non_sink; f }
+  in
+  Term.(const make $ kind $ seed $ sink_size $ non_sink $ f)
+
+let faulty_term =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "faulty" ] ~docv:"IDS"
+        ~doc:"Comma-separated ids of silent Byzantine processes.")
+
+(* ---- analyze ----------------------------------------------------------- *)
+
+let analyze spec faulty_ids =
+  let g = build_graph spec in
+  let f = spec.f in
+  let faulty = Pid.Set.of_list faulty_ids in
+  Format.printf "knowledge graph:@.%a@." Digraph.pp g;
+  Format.printf "%a@." Metrics.pp (Metrics.compute g);
+  List.iteri
+    (fun i c -> Format.printf "scc %d: %a@." i Pid.Set.pp c)
+    (Scc.components g);
+  (match Condensation.unique_sink g with
+  | Some sink ->
+      Format.printf "unique sink component: %a@." Pid.Set.pp sink;
+      Format.printf "sink connectivity: %d@."
+        (Connectivity.vertex_connectivity (Digraph.subgraph sink g))
+  | None -> Format.printf "no unique sink component@.");
+  List.iter
+    (fun k ->
+      match Properties.check_k_osr g k with
+      | Ok _ -> Format.printf "%d-OSR: yes@." k
+      | Error e ->
+          Format.printf "%d-OSR: no (%a)@." k Properties.pp_osr_failure e)
+    [ 1; f + 1; (2 * f) + 1 ];
+  if not (Pid.Set.is_empty faulty) then begin
+    Format.printf "F = %a@." Pid.Set.pp faulty;
+    Format.printf "byzantine-safe for F: %b@."
+      (Properties.is_byzantine_safe g ~f ~faulty);
+    Format.printf "solvable (Theorem 1): %b@."
+      (Properties.solvable g ~f ~faulty)
+  end
+
+(* ---- sink ------------------------------------------------------------- *)
+
+let run_sink spec faulty_ids =
+  let g = build_graph spec in
+  let faulty = Pid.Set.of_list faulty_ids in
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
+  in
+  let r =
+    Cup.Sink_protocol.run ~seed:spec.seed ~graph:g ~f:spec.f ~fault_of ()
+  in
+  Format.printf "messages: %d, simulated ticks: %d@." r.stats.messages_sent
+    r.stats.end_time;
+  Pid.Set.iter
+    (fun i ->
+      match Pid.Map.find_opt i r.answers with
+      | Some (a : Cup.Sink_oracle.answer) ->
+          Format.printf "%d: get_sink -> (%b, %a)@." i a.in_sink Pid.Set.pp
+            a.view
+      | None ->
+          if Pid.Set.mem i faulty then Format.printf "%d: (faulty)@." i
+          else Format.printf "%d: no answer@." i)
+    (Digraph.vertices g)
+
+(* ---- consensus --------------------------------------------------------- *)
+
+let run_consensus spec faulty_ids pipeline =
+  let g = build_graph spec in
+  let faulty = Pid.Set.of_list faulty_ids in
+  let initial_value_of i = Scp.Value.of_ints [ i ] in
+  let verdict =
+    match pipeline with
+    | "scp-local" ->
+        Stellar_cup.Pipeline.scp_with_local_slices ~seed:spec.seed ~graph:g
+          ~f:spec.f ~faulty ~initial_value_of ()
+    | "scp-sd" ->
+        Stellar_cup.Pipeline.scp_with_sink_detector ~seed:spec.seed ~graph:g
+          ~f:spec.f ~faulty ~initial_value_of ()
+    | "bftcup" ->
+        Stellar_cup.Pipeline.bftcup ~seed:spec.seed ~graph:g ~f:spec.f ~faulty
+          ~initial_value_of ()
+    | other -> failwith (Printf.sprintf "unknown pipeline %S" other)
+  in
+  Format.printf "%s: %a@." pipeline Stellar_cup.Pipeline.pp_verdict verdict
+
+let pipeline_term =
+  Arg.(
+    value
+    & opt string "scp-sd"
+    & info [ "pipeline" ] ~docv:"P"
+        ~doc:"Consensus stack: scp-local (Theorem 2 strawman), scp-sd \
+              (Corollary 2) or bftcup (baseline).")
+
+(* ---- experiment -------------------------------------------------------- *)
+
+let run_experiment which markdown =
+  let tables =
+    match which with
+    | "all" -> Stellar_cup.Experiments.all ()
+    | "e1" -> [ Stellar_cup.Experiments.e1_fig1_example () ]
+    | "e2" -> [ Stellar_cup.Experiments.e2_is_quorum () ]
+    | "e3" -> [ Stellar_cup.Experiments.e3_theorem2_violation () ]
+    | "e4" -> [ Stellar_cup.Experiments.e4_algorithm2_intertwined () ]
+    | "e4b" -> [ Stellar_cup.Experiments.e4b_threshold_ablation () ]
+    | "e5" -> [ Stellar_cup.Experiments.e5_availability () ]
+    | "e6" -> [ Stellar_cup.Experiments.e6_sink_detector () ]
+    | "e7" -> [ Stellar_cup.Experiments.e7_reachable_broadcast () ]
+    | "e8" -> [ Stellar_cup.Experiments.e8_pipelines () ]
+    | "e9" -> [ Stellar_cup.Experiments.e9_graph_machinery () ]
+    | "e10" -> [ Stellar_cup.Experiments.e10_restricted_oracle () ]
+    | "e11" -> [ Stellar_cup.Experiments.e11_gst_sweep () ]
+    | "e12" -> [ Stellar_cup.Experiments.e12_nomination_ablation () ]
+    | other -> failwith (Printf.sprintf "unknown experiment %S" other)
+  in
+  if markdown then
+    List.iter (fun t -> print_string (Stellar_cup.Report.to_markdown t)) tables
+  else List.iter Stellar_cup.Report.print tables
+
+(* ---- dot --------------------------------------------------------------- *)
+
+let emit_dot spec faulty_ids output =
+  let g = build_graph spec in
+  let faulty = Pid.Set.of_list faulty_ids in
+  let highlight =
+    Option.value ~default:Pid.Set.empty (Condensation.unique_sink g)
+  in
+  match output with
+  | "-" -> print_string (Dot.to_dot ~highlight ~faulty g)
+  | path ->
+      Dot.to_file ~highlight ~faulty path g;
+      Format.printf "wrote %s@." path
+
+(* ---- command wiring ---------------------------------------------------- *)
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze" ~doc:"Analyse a knowledge-connectivity graph")
+    Term.(const analyze $ graph_term $ faulty_term)
+
+let sink_cmd =
+  Cmd.v
+    (Cmd.info "sink" ~doc:"Run the distributed sink detector (Algorithm 3)")
+    Term.(const run_sink $ graph_term $ faulty_term)
+
+let consensus_cmd =
+  Cmd.v (Cmd.info "consensus" ~doc:"Run a consensus pipeline")
+    Term.(const run_consensus $ graph_term $ faulty_term $ pipeline_term)
+
+let experiment_cmd =
+  let which =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"ID" ~doc:"Experiment id (e1..e12, e4b) or 'all'.")
+  in
+  let markdown =
+    Arg.(value & flag & info [ "markdown" ] ~doc:"Emit Markdown tables.")
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper artifact")
+    Term.(const run_experiment $ which $ markdown)
+
+let dot_cmd =
+  let output =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output path ('-': stdout).")
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Emit a Graphviz rendering")
+    Term.(const emit_dot $ graph_term $ faulty_term $ output)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "stellar-cup" ~version:"1.0.0"
+      ~doc:
+        "Stellar consensus with minimal knowledge (ICDCS 2023 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ analyze_cmd; sink_cmd; consensus_cmd; experiment_cmd; dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/bftcup_vs_scp.ml: Generators Graphkit List Printf Scp Stellar_cup

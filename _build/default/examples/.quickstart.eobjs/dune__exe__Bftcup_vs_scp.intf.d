@@ -1,0 +1,1 @@
+examples/bftcup_vs_scp.mli:

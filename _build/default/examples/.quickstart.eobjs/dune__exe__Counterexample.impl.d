@@ -1,0 +1,1 @@
+examples/counterexample.ml: Builtin Cup Digraph Format Graphkit Pid Properties Scp Simkit Stellar_cup

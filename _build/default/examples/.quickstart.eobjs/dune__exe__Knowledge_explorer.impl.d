@@ -1,0 +1,1 @@
+examples/knowledge_explorer.ml: Array Connectivity Digraph Dot Format Generators Graphkit List Pid Properties Scc Sys

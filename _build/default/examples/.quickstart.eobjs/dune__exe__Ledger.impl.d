@@ -1,0 +1,1 @@
+examples/ledger.ml: Cup Digraph Format Generators Graphkit List Pid Scp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builtin Digraph Fbqs Format Graphkit List Pid Properties Scp

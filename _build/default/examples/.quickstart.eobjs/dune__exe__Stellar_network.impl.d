@@ -1,0 +1,1 @@
+examples/stellar_network.ml: Fbqs Format Fun Graphkit List Pid Scp

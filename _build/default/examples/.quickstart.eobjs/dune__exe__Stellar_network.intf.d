@@ -1,0 +1,1 @@
+examples/stellar_network.mli:

@@ -1,0 +1,63 @@
+(* Head-to-head: BFT-CUP vs SCP + sink detector.
+
+   Both stacks solve consensus from the same minimal initial knowledge
+   (PD_i and f). BFT-CUP uses discovery as part of its design; Stellar
+   cannot work without an extra knowledge-increasing phase (Corollary
+   1) and becomes correct once the sink detector supplies it
+   (Corollary 2). The table contrasts their costs on the same random
+   Byzantine-safe graphs with a random silent fault.
+
+   Run with: dune exec examples/bftcup_vs_scp.exe *)
+
+open Graphkit
+
+let () =
+  let samples = 3 in
+  let rows = ref [] in
+  List.iter
+    (fun (sink_size, non_sink, f) ->
+      for k = 0 to samples - 1 do
+        let seed = 100 + k in
+        let g, _ =
+          Generators.random_byzantine_safe ~seed ~f ~sink_size ~non_sink ()
+        in
+        let faulty = Generators.random_faulty_set ~seed ~f g in
+        let initial_value_of i = Scp.Value.of_ints [ i ] in
+        let scp =
+          Stellar_cup.Pipeline.scp_with_sink_detector ~seed ~graph:g ~f
+            ~faulty ~initial_value_of ()
+        in
+        let bft =
+          Stellar_cup.Pipeline.bftcup ~seed ~graph:g ~f ~faulty
+            ~initial_value_of ()
+        in
+        let row name (v : Stellar_cup.Pipeline.verdict) =
+          [
+            Printf.sprintf "n=%d f=%d #%d" (sink_size + non_sink) f k;
+            name;
+            (if v.all_decided && v.agreement && v.validity then "ok"
+             else "FAILED");
+            string_of_int v.discovery_msgs;
+            string_of_int v.consensus_msgs;
+            string_of_int v.total_time;
+          ]
+        in
+        rows := row "BFT-CUP" bft :: row "SCP+SD" scp :: !rows
+      done)
+    [ (5, 3, 1); (6, 5, 1); (8, 6, 2) ];
+  let table =
+    Stellar_cup.Report.make ~id:"compare"
+      ~title:"BFT-CUP vs SCP with sink detector (same graphs, same faults)"
+      ~header:
+        [ "graph"; "stack"; "consensus"; "discovery msgs"; "consensus msgs";
+          "ticks" ]
+      ~notes:
+        [
+          "SCP's consensus phase floods statement-level envelopes, so its \
+           message count is an order of magnitude above PBFT's — the \
+           interesting column is 'consensus': both always succeed, and both \
+           pay a discovery phase of the same shape.";
+        ]
+      (List.rev !rows)
+  in
+  Stellar_cup.Report.print table

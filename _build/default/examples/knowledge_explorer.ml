@@ -1,0 +1,82 @@
+(* Knowledge-connectivity graph explorer.
+
+   Generates a random k-OSR knowledge graph, walks through every
+   structural notion the paper builds on — strongly connected
+   components, the condensation and its sink, k-strong connectivity,
+   f-reachability — and writes a Graphviz rendering.
+
+   Run with: dune exec examples/knowledge_explorer.exe [seed] *)
+
+open Graphkit
+
+let () =
+  let seed =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 42
+  in
+  let f = 1 in
+  let k = (2 * f) + 1 in
+  let g =
+    Generators.random_k_osr ~seed ~sink_size:6 ~non_sink:5 ~k ()
+  in
+  Format.printf "Random %d-OSR knowledge graph (seed %d):@.%a@." k seed
+    Digraph.pp g;
+
+  Format.printf "@.--- Strongly connected components ---@.";
+  List.iteri
+    (fun i c -> Format.printf "component %d: %a@." i Pid.Set.pp c)
+    (Scc.components g);
+
+  Format.printf "@.--- Sink component (Definition 5 terrain) ---@.";
+  let sink = Properties.sink_of_exn g in
+  Format.printf "V_sink = %a@." Pid.Set.pp sink;
+  Format.printf "sink is %d-strongly connected (exact: %d)@." k
+    (Connectivity.vertex_connectivity (Digraph.subgraph sink g));
+
+  Format.printf "@.--- k-OSR check (Definition 6) ---@.";
+  (match Properties.check_k_osr g k with
+  | Ok _ -> Format.printf "graph is %d-OSR@." k
+  | Error e -> Format.printf "NOT %d-OSR: %a@." k Properties.pp_osr_failure e);
+
+  Format.printf "@.--- Byzantine safety (Definition 7) ---@.";
+  let faulty = Generators.random_faulty_set ~seed ~f g in
+  Format.printf "random F = %a: byzantine-safe: %b, solvable (Thm 1): %b@."
+    Pid.Set.pp faulty
+    (Properties.is_byzantine_safe g ~f ~faulty)
+    (Properties.solvable g ~f ~faulty);
+
+  Format.printf "@.--- f-reachability (Definition 9) ---@.";
+  let correct = Pid.Set.diff (Digraph.vertices g) faulty in
+  let non_sink = Pid.Set.diff (Digraph.vertices g) sink in
+  Pid.Set.iter
+    (fun i ->
+      if Pid.Set.mem i correct then
+        let reachable_sink =
+          Pid.Set.filter
+            (fun j ->
+              Pid.Set.mem j correct
+              && Connectivity.f_reachable g ~correct f i j)
+            sink
+        in
+        Format.printf
+          "from %d: %d of %d correct sink members are %d-reachable@." i
+          (Pid.Set.cardinal reachable_sink)
+          (Pid.Set.cardinal (Pid.Set.inter sink correct))
+          f)
+    non_sink;
+
+  Format.printf "@.--- Disjoint path profile ---@.";
+  Pid.Set.iter
+    (fun i ->
+      let m =
+        Pid.Set.fold
+          (fun j acc ->
+            if Pid.equal i j then acc
+            else min acc (Connectivity.node_disjoint_paths g i j))
+          sink max_int
+      in
+      Format.printf "min node-disjoint paths %d -> sink members: %d@." i m)
+    non_sink;
+
+  let path = "knowledge_graph.dot" in
+  Dot.to_file ~highlight:sink ~faulty path g;
+  Format.printf "@.Graphviz rendering written to %s@." path

@@ -1,0 +1,102 @@
+(* A Stellar-mainnet-like tiered network.
+
+   Four "organizations" run three validators each. Every validator's
+   quorum slices require two-of-three validators from its own
+   organization and from two of the three other organizations — the
+   classic tiered configuration of the public Stellar network. We
+   analyse the resulting FBQS and run consensus with one whole
+   organization Byzantine-silent.
+
+   Run with: dune exec examples/stellar_network.exe *)
+
+open Graphkit
+
+let orgs = 4
+let per_org = 3
+let validators = orgs * per_org
+
+(* validator ids: org k (0-based) owns [3k+1; 3k+2; 3k+3] *)
+let org_of v = (v - 1) / per_org
+let members_of_org k = List.init per_org (fun i -> (k * per_org) + i + 1)
+
+(* All 2-of-3 subsets of one organization. *)
+let pairs_of_org k =
+  match members_of_org k with
+  | [ a; b; c ] ->
+      [ Pid.Set.of_list [ a; b ]; Pid.Set.of_list [ a; c ];
+        Pid.Set.of_list [ b; c ] ]
+  | _ -> assert false
+
+(* Slices of validator v: two-of-three from its own org, plus
+   two-of-three from each of two other organizations. *)
+let slices_of v =
+  let own = org_of v in
+  let others = List.filter (fun k -> k <> own) (List.init orgs Fun.id) in
+  let org_choices =
+    (* all 2-subsets of the other three orgs *)
+    List.concat_map
+      (fun a -> List.filter_map (fun b -> if a < b then Some (a, b) else None) others)
+      others
+  in
+  let slices =
+    List.concat_map
+      (fun (oa, ob) ->
+        List.concat_map
+          (fun pa ->
+            List.concat_map
+              (fun pb ->
+                List.map
+                  (fun po -> Pid.Set.union po (Pid.Set.union pa pb))
+                  (pairs_of_org own))
+              (pairs_of_org ob))
+          (pairs_of_org oa))
+      org_choices
+  in
+  Fbqs.Slice.explicit slices
+
+let () =
+  Format.printf "Tiered Stellar network: %d organizations x %d validators@."
+    orgs per_org;
+  let system =
+    Fbqs.Quorum.system_of_list
+      (List.init validators (fun i -> (i + 1, slices_of (i + 1))))
+  in
+  let all = Pid.Set.of_range 1 validators in
+
+  Format.printf "@.--- Quorum structure ---@.";
+  Format.printf "slices per validator: %d (each of size 6)@."
+    (Fbqs.Slice.slice_count (slices_of 1));
+  let minimal = Fbqs.Quorum.minimal_quorums system in
+  let smallest =
+    List.fold_left (fun acc q -> min acc (Pid.Set.cardinal q)) max_int minimal
+  in
+  Format.printf "minimal quorums: %d; smallest size: %d@."
+    (List.length minimal) smallest;
+
+  Format.printf "@.--- Fault tolerance analysis ---@.";
+  (* One whole org down: the rest must still be a consensus cluster. *)
+  List.iter
+    (fun dead_org ->
+      let faulty = Pid.Set.of_list (members_of_org dead_org) in
+      let correct = Pid.Set.diff all faulty in
+      let ok =
+        Fbqs.Cluster.is_consensus_cluster system ~correct
+          ~mode:(Fbqs.Intertwine.Correct_witness correct) correct
+      in
+      Format.printf "org %d down -> remaining 9 form a consensus cluster: %b@."
+        dead_org ok)
+    [ 0; 1; 2; 3 ];
+
+  Format.printf "@.--- Live consensus with org 3 silent ---@.";
+  let faulty = Pid.Set.of_list (members_of_org 3) in
+  let outcome =
+    Scp.Runner.run ~system
+      ~peers_of:(fun _ -> all)
+      ~initial_value_of:(fun i -> Scp.Value.of_ints [ 1000 + i ])
+      ~fault_of:(fun i ->
+        if Pid.Set.mem i faulty then Some Scp.Runner.Silent else None)
+      ()
+  in
+  Format.printf "%a@." Scp.Runner.pp_outcome outcome;
+  Format.printf "ledger closed despite a full organization outage: %b@."
+    (outcome.all_decided && outcome.agreement)

@@ -1,0 +1,1 @@
+lib/bftcup/pbft.ml: Engine Format Graphkit Int List Map Option Pid Printf Scp Simkit

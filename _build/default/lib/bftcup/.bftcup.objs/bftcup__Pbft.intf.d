@@ -1,0 +1,1 @@
+lib/bftcup/pbft.mli: Format Graphkit Pid Scp Simkit

@@ -1,0 +1,1 @@
+lib/bftcup/protocol.ml: Cup Delay Digraph Engine Format Graphkit List Pbft Pid Scp Simkit

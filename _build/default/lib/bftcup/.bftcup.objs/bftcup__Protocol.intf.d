@@ -1,0 +1,1 @@
+lib/bftcup/protocol.mli: Digraph Format Graphkit Pid Scp Simkit

@@ -1,0 +1,316 @@
+open Graphkit
+open Simkit
+
+type lock = { locked_view : int; locked_value : Scp.Value.t }
+
+type msg =
+  | Pre_prepare of {
+      view : int;
+      value : Scp.Value.t;
+      just : (Pid.t * lock option) list;
+    }
+  | Prepare of { view : int; value : Scp.Value.t }
+  | Commit of { view : int; value : Scp.Value.t }
+  | View_change of { new_view : int; lock : lock option }
+  | Decision_req
+  | Decision of Scp.Value.t
+
+let pp_msg ppf = function
+  | Pre_prepare { view; value; _ } ->
+      Format.fprintf ppf "pre-prepare v=%d %a" view Scp.Value.pp value
+  | Prepare { view; value } ->
+      Format.fprintf ppf "prepare v=%d %a" view Scp.Value.pp value
+  | Commit { view; value } ->
+      Format.fprintf ppf "commit v=%d %a" view Scp.Value.pp value
+  | View_change { new_view; _ } ->
+      Format.fprintf ppf "view-change v=%d" new_view
+  | Decision_req -> Format.pp_print_string ppf "decision-req"
+  | Decision v -> Format.fprintf ppf "decision %a" Scp.Value.pp v
+
+type decision = { value : Scp.Value.t; view : int; time : int }
+
+type config = {
+  self : Pid.t;
+  members : Pid.Set.t;
+  f : int;
+  initial_value : Scp.Value.t;
+  view_timeout : int;
+  on_decide : Pid.t -> decision -> unit;
+}
+
+let quorum_size ~n ~f = (n + f + 2) / 2
+
+let leader_of members view =
+  let l = Pid.Set.elements members in
+  List.nth l (view mod List.length l)
+
+module VKey = Map.Make (struct
+  type t = int * Scp.Value.t
+
+  let compare (v1, x1) (v2, x2) =
+    match Int.compare v1 v2 with 0 -> Scp.Value.compare x1 x2 | c -> c
+end)
+
+module IMap = Map.Make (Int)
+
+type state = {
+  cfg : config;
+  q : int;
+  mutable view : int;
+  mutable pre_prepared : Scp.Value.t option;  (* proposal seen, this view *)
+  mutable sent_prepare : int;  (* highest view we sent Prepare in, -1 if none *)
+  mutable sent_commit : int;
+  mutable prepares : Pid.Set.t VKey.t;
+  mutable commits : Pid.Set.t VKey.t;
+  mutable view_changes : (Pid.t * lock option) list IMap.t;
+  mutable proposed_in : int IMap.t;  (* views we already proposed in (leader) *)
+  mutable lock : lock option;
+  mutable decided : decision option;
+  mutable askers : Pid.Set.t;
+  mutable answered : Pid.Set.t;
+  mutable member_decisions : Scp.Value.t Pid.Map.t;
+      (* Decision values reported by fellow members: f+1 matching
+         reports let a straggler adopt the decision even when the
+         deciders have stopped advancing views. *)
+  mutable told_members : Pid.Set.t;
+}
+
+let make_state cfg =
+  {
+    cfg;
+    q = quorum_size ~n:(Pid.Set.cardinal cfg.members) ~f:cfg.f;
+    view = 0;
+    pre_prepared = None;
+    sent_prepare = -1;
+    sent_commit = -1;
+    prepares = VKey.empty;
+    commits = VKey.empty;
+    view_changes = IMap.empty;
+    proposed_in = IMap.empty;
+    lock = None;
+    decided = None;
+    askers = Pid.Set.empty;
+    answered = Pid.Set.empty;
+    member_decisions = Pid.Map.empty;
+    told_members = Pid.Set.empty;
+  }
+
+let others st = Pid.Set.remove st.cfg.self st.cfg.members
+
+let bcast st ctx m = Pid.Set.iter (fun j -> Engine.send ctx j m) (others st)
+
+let arm_timer st ctx =
+  Engine.set_timer ctx
+    ~delay:(st.cfg.view_timeout * (st.view + 1))
+    (Printf.sprintf "view:%d" st.view)
+
+let flush_askers st ctx =
+  match st.decided with
+  | None -> ()
+  | Some d ->
+      let pending = Pid.Set.diff st.askers st.answered in
+      Pid.Set.iter
+        (fun j ->
+          st.answered <- Pid.Set.add j st.answered;
+          Engine.send ctx j (Decision d.value))
+        pending
+
+let decide st ctx value =
+  if st.decided = None then begin
+    let d = { value; view = st.view; time = Engine.now ctx } in
+    st.decided <- Some d;
+    st.cfg.on_decide st.cfg.self d;
+    flush_askers st ctx
+  end
+
+let tally map key src =
+  let cur = Option.value ~default:Pid.Set.empty (VKey.find_opt key map) in
+  VKey.add key (Pid.Set.add src cur) map
+
+(* A decided replica stays in the protocol (stragglers may need it to
+   form quorums in later views) but only ever supports its decided
+   value. *)
+let supports st value =
+  match st.decided with
+  | Some d -> Scp.Value.equal value d.value
+  | None -> true
+
+let send_prepare st ctx view value =
+  if st.sent_prepare < view && supports st value then begin
+    st.sent_prepare <- view;
+    st.prepares <- tally st.prepares (view, value) st.cfg.self;
+    bcast st ctx (Prepare { view; value })
+  end
+
+let send_commit st ctx view value =
+  if st.sent_commit < view && supports st value then begin
+    st.sent_commit <- view;
+    (match st.lock with
+    | Some l when l.locked_view >= view -> ()
+    | Some _ | None ->
+        st.lock <- Some { locked_view = view; locked_value = value });
+    st.commits <- tally st.commits (view, value) st.cfg.self;
+    bcast st ctx (Commit { view; value })
+  end
+
+let check_prepared st ctx =
+  VKey.iter
+    (fun (view, value) senders ->
+      if view = st.view && Pid.Set.cardinal senders >= st.q then
+        send_commit st ctx view value)
+    st.prepares
+
+(* The highest lock quoted in a view-change certificate. *)
+let best_lock just =
+  List.fold_left
+    (fun acc (_, l) ->
+      match (acc, l) with
+      | None, l -> l
+      | Some a, Some b when b.locked_view > a.locked_view -> Some b
+      | Some a, _ -> Some a)
+    None just
+
+(* The value a new leader must propose: the highest quoted lock, or its
+   own initial value when nothing is locked. *)
+let safe_value st just =
+  match best_lock just with
+  | Some l -> l.locked_value
+  | None -> st.cfg.initial_value
+
+let maybe_propose st ctx view =
+  if
+    Pid.equal (leader_of st.cfg.members view) st.cfg.self
+    && view = st.view
+    && not (IMap.mem view st.proposed_in)
+  then begin
+    let just =
+      Option.value ~default:[] (IMap.find_opt view st.view_changes)
+    in
+    if view = 0 || List.length just >= st.q then begin
+      st.proposed_in <- IMap.add view view st.proposed_in;
+      let value =
+        match st.decided with
+        | Some d -> d.value
+        | None ->
+            if view = 0 then st.cfg.initial_value else safe_value st just
+      in
+      st.pre_prepared <- Some value;
+      bcast st ctx (Pre_prepare { view; value; just });
+      send_prepare st ctx view value;
+      check_prepared st ctx
+    end
+  end
+
+let enter_view st ctx nv =
+  if nv > st.view then begin
+    st.view <- nv;
+    st.pre_prepared <- None;
+    let vc = View_change { new_view = nv; lock = st.lock } in
+    (* record our own view change locally too *)
+    let cur = Option.value ~default:[] (IMap.find_opt nv st.view_changes) in
+    if not (List.mem_assoc st.cfg.self cur) then
+      st.view_changes <- IMap.add nv ((st.cfg.self, st.lock) :: cur) st.view_changes;
+    bcast st ctx vc;
+    arm_timer st ctx;
+    maybe_propose st ctx nv
+  end
+
+let valid_proposal st ~src ~view ~value ~just =
+  Pid.equal src (leader_of st.cfg.members view)
+  && view = st.view
+  && st.pre_prepared = None
+  && supports st value
+  &&
+  if view = 0 then true
+  else
+    let distinct = List.sort_uniq Pid.compare (List.map fst just) in
+    List.length distinct >= st.q
+    && List.for_all (fun p -> Pid.Set.mem p st.cfg.members) distinct
+    &&
+    (* With a lock quoted, the proposal must re-propose it; otherwise
+       the leader is free to propose (its own initial value, which the
+       replica cannot know). *)
+    match best_lock just with
+    | Some l -> Scp.Value.equal value l.locked_value
+    | None -> true
+
+let behavior cfg : msg Engine.behavior =
+  let st = make_state cfg in
+  let on_start ctx =
+    arm_timer st ctx;
+    maybe_propose st ctx 0
+  in
+  (* A decided replica stops advancing views; it instead tells every
+     member it hears from about the decision, once. *)
+  let tell_decided ctx src =
+    match st.decided with
+    | Some d
+      when Pid.Set.mem src st.cfg.members
+           && not (Pid.Set.mem src st.told_members) ->
+        st.told_members <- Pid.Set.add src st.told_members;
+        Engine.send ctx src (Decision d.value)
+    | Some _ | None -> ()
+  in
+  let on_message ctx ~src m =
+    tell_decided ctx src;
+    match m with
+    | Pre_prepare { view; value; just } ->
+        if valid_proposal st ~src ~view ~value ~just then begin
+          st.pre_prepared <- Some value;
+          send_prepare st ctx view value;
+          check_prepared st ctx
+        end
+    | Prepare { view; value } ->
+        if Pid.Set.mem src st.cfg.members then begin
+          st.prepares <- tally st.prepares (view, value) src;
+          if view = st.view then check_prepared st ctx
+        end
+    | Commit { view; value } ->
+        if Pid.Set.mem src st.cfg.members then begin
+          st.commits <- tally st.commits (view, value) src;
+          let senders =
+            Option.value ~default:Pid.Set.empty
+              (VKey.find_opt (view, value) st.commits)
+          in
+          if Pid.Set.cardinal senders >= st.q then decide st ctx value
+        end
+    | View_change { new_view; lock } ->
+        if Pid.Set.mem src st.cfg.members then begin
+          let cur =
+            Option.value ~default:[] (IMap.find_opt new_view st.view_changes)
+          in
+          if not (List.mem_assoc src cur) then begin
+            let cur = (src, lock) :: cur in
+            st.view_changes <- IMap.add new_view cur st.view_changes;
+            (* join a view change supported by f+1 members *)
+            if new_view > st.view && List.length cur >= st.cfg.f + 1 then
+              enter_view st ctx new_view
+            else maybe_propose st ctx new_view
+          end
+        end
+    | Decision_req ->
+        st.askers <- Pid.Set.add src st.askers;
+        flush_askers st ctx
+    | Decision v ->
+        (* Adopt a decision vouched by f+1 distinct members: at least
+           one is correct and really committed it. *)
+        if Pid.Set.mem src st.cfg.members && st.decided = None then begin
+          st.member_decisions <- Pid.Map.add src v st.member_decisions;
+          let count =
+            Pid.Map.fold
+              (fun _ v' n -> if Scp.Value.equal v v' then n + 1 else n)
+              st.member_decisions 0
+          in
+          if count >= st.cfg.f + 1 then decide st ctx v
+        end
+  in
+  let on_timer ctx tag =
+    (* Stale tags (from earlier views) are ignored. Decided replicas
+       keep rotating views too: stragglers may need them as quorum
+       members (they will only ever support the decided value). *)
+    if tag = Printf.sprintf "view:%d" st.view then
+      enter_view st ctx (st.view + 1)
+  in
+  { on_start; on_message; on_timer }
+
+let silent : msg Engine.behavior = Engine.idle_behavior

@@ -1,0 +1,57 @@
+(** A PBFT-style consensus for a known membership, used by the BFT-CUP
+    baseline among the discovered sink members (the paper's Section
+    III-E: "sink members solve consensus among themselves by executing a
+    consensus protocol (e.g., PBFT)").
+
+    The quorum size is [ceil ((n + f + 1) / 2)] — with at most [f]
+    faulty members out of [n], two quorums always intersect in a correct
+    process: the same arithmetic the paper uses for sink slices.
+
+    View changes carry each replica's prepared lock; a new leader's
+    proposal must quote a quorum of view-change messages and re-propose
+    the highest lock among them. Replicas check the quote's shape but —
+    as in deployed PBFT, where messages are signed — cannot forge-proof
+    it without signatures; the simulation's Byzantine behaviours do not
+    forge quotes (see DESIGN.md). *)
+
+open Graphkit
+
+type lock = { locked_view : int; locked_value : Scp.Value.t }
+
+type msg =
+  | Pre_prepare of {
+      view : int;
+      value : Scp.Value.t;
+      just : (Pid.t * lock option) list;
+          (** view-change certificate; empty and unchecked for view 0 *)
+    }
+  | Prepare of { view : int; value : Scp.Value.t }
+  | Commit of { view : int; value : Scp.Value.t }
+  | View_change of { new_view : int; lock : lock option }
+  | Decision_req
+  | Decision of Scp.Value.t
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type decision = { value : Scp.Value.t; view : int; time : int }
+
+type config = {
+  self : Pid.t;
+  members : Pid.Set.t;  (** the discovered sink, self included *)
+  f : int;
+  initial_value : Scp.Value.t;
+  view_timeout : int;
+  on_decide : Pid.t -> decision -> unit;
+}
+
+val quorum_size : n:int -> f:int -> int
+
+val leader_of : Pid.Set.t -> int -> Pid.t
+(** Round-robin leader: the [view mod n]-th member in id order. *)
+
+val behavior : config -> msg Simkit.Engine.behavior
+(** A replica. Also answers [Decision_req] messages (from non-members)
+    with [Decision v] once decided — the dissemination half of
+    BFT-CUP. *)
+
+val silent : msg Simkit.Engine.behavior

@@ -1,0 +1,125 @@
+open Graphkit
+open Simkit
+
+type outcome = {
+  decisions : Scp.Value.t Pid.Map.t;
+  all_decided : bool;
+  agreement : bool;
+  validity : bool;
+  discovery_stats : Engine.stats;
+  consensus_stats : Engine.stats;
+}
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>all_decided=%b agreement=%b validity=%b disc_msgs=%d cons_msgs=%d@]"
+    o.all_decided o.agreement o.validity o.discovery_stats.messages_sent
+    o.consensus_stats.messages_sent
+
+(* Stage 2/3 behaviour for a non-sink member: poll the sink members of
+   the discovered view and adopt a value confirmed by f+1 of them. *)
+let requester ~self ~view ~f ~on_decide : Pbft.msg Engine.behavior =
+  let replies = ref Pid.Map.empty in
+  let decided = ref false in
+  let on_start ctx =
+    Pid.Set.iter
+      (fun j -> Engine.send ctx j Pbft.Decision_req)
+      (Pid.Set.remove self view)
+  in
+  let on_message _ctx ~src m =
+    match m with
+    | Pbft.Decision v when not !decided ->
+        if Pid.Set.mem src view then begin
+          replies := Pid.Map.add src v !replies;
+          let count =
+            Pid.Map.fold
+              (fun _ v' n -> if Scp.Value.equal v v' then n + 1 else n)
+              !replies 0
+          in
+          if count >= f + 1 then begin
+            decided := true;
+            on_decide self v
+          end
+        end
+    | _ -> ()
+  in
+  { Engine.idle_behavior with on_start; on_message }
+
+let run ?(seed = 0) ?(gst = 50) ?(delta = 5) ?(max_time = 200_000)
+    ?(view_timeout = 60) ~graph ~f ~initial_value_of ~faulty () =
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
+  in
+  (* Stage 1: knowledge acquisition. *)
+  let discovery =
+    Cup.Sink_protocol.run ~seed ~gst ~delta ~max_time ~graph ~f ~fault_of ()
+  in
+  (* Stage 2 + 3: consensus among the sink, dissemination outwards. *)
+  let delay = Delay.partial_synchrony ~gst ~delta ~seed:(seed + 1) in
+  let engine = Engine.create ~pp_msg:Pbft.pp_msg ~delay () in
+  let decisions = ref Pid.Map.empty in
+  let correct = Pid.Set.diff (Digraph.vertices graph) faulty in
+  let expected =
+    (* only processes that completed discovery can take part *)
+    Pid.Set.filter
+      (fun i -> Pid.Map.mem i discovery.answers)
+      correct
+  in
+  Pid.Set.iter
+    (fun i ->
+      if Pid.Set.mem i faulty then Engine.add_node engine i Pbft.silent
+      else
+        match Pid.Map.find_opt i discovery.answers with
+        | None -> ()
+        | Some (a : Cup.Sink_oracle.answer) ->
+            if a.in_sink then
+              Engine.add_node engine i
+                (Pbft.behavior
+                   {
+                     Pbft.self = i;
+                     members = a.view;
+                     f;
+                     initial_value = initial_value_of i;
+                     view_timeout;
+                     on_decide =
+                       (fun pid (d : Pbft.decision) ->
+                         decisions := Pid.Map.add pid d.value !decisions);
+                   })
+            else
+              Engine.add_node engine i
+                (requester ~self:i ~view:a.view ~f ~on_decide:(fun pid v ->
+                     decisions := Pid.Map.add pid v !decisions)))
+    (Digraph.vertices graph);
+  let all_decided () =
+    Pid.Set.for_all (fun i -> Pid.Map.mem i !decisions) expected
+  in
+  let consensus_stats = Engine.run ~max_time ~stop:all_decided engine in
+  let decisions = !decisions in
+  let values = Pid.Map.fold (fun _ v acc -> v :: acc) decisions [] in
+  let agreement =
+    match values with
+    | [] -> true
+    | v :: rest -> List.for_all (Scp.Value.equal v) rest
+  in
+  let proposed =
+    Pid.Set.fold
+      (fun i acc -> Scp.Value.union acc (initial_value_of i))
+      (Digraph.vertices graph) Scp.Value.empty
+  in
+  let validity =
+    List.for_all
+      (fun v ->
+        List.for_all
+          (fun tx -> List.mem tx (Scp.Value.to_list proposed))
+          (Scp.Value.to_list v))
+      values
+  in
+  {
+    decisions;
+    all_decided =
+      all_decided () && Pid.Set.equal expected correct;
+    agreement;
+    validity;
+    discovery_stats = discovery.stats;
+    consensus_stats;
+  }

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Builtin Connectivity Cup Digraph Fbqs Format Generators Graphkit Hashtbl List Pid Pipeline Printf Properties Queue Random Report Scp Simkit String Theorems

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Bftcup Cup Digraph Fbqs Format Graphkit Option Pid Scp

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Cup Digraph Fbqs Format Graphkit Pid Scp Simkit

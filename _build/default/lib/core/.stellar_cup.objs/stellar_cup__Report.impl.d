@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Format List Printf String

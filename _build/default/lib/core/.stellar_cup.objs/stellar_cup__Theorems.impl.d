@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Cup Digraph Fbqs Format Graphkit Option Pid

@@ -1,0 +1,102 @@
+open Graphkit
+
+type verdict = {
+  all_decided : bool;
+  agreement : bool;
+  validity : bool;
+  deciders : int;
+  discovery_msgs : int;
+  consensus_msgs : int;
+  total_time : int;
+}
+
+let pp_verdict ppf v =
+  Format.fprintf ppf
+    "decided=%b agreement=%b validity=%b deciders=%d msgs=%d+%d time=%d"
+    v.all_decided v.agreement v.validity v.deciders v.discovery_msgs
+    v.consensus_msgs v.total_time
+
+let of_scp_outcome ?(discovery_msgs = 0) ?(discovery_time = 0)
+    (o : Scp.Runner.outcome) =
+  {
+    all_decided = o.all_decided;
+    agreement = o.agreement;
+    validity = o.validity;
+    deciders = Pid.Map.cardinal o.decisions;
+    discovery_msgs;
+    consensus_msgs = o.stats.messages_sent;
+    total_time = discovery_time + o.stats.end_time;
+  }
+
+let scp_with_local_slices ?seed ?gst ?delta ?max_time ?delay ?rule ~graph ~f
+    ~faulty ~initial_value_of () =
+  let rule = Option.value ~default:Cup.Local_slices.all_but_one rule in
+  let pd = Cup.Participant_detector.of_graph ~f graph in
+  let system = Cup.Local_slices.system ~rule pd in
+  let peers_of i = Cup.Participant_detector.query pd i in
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some Scp.Runner.Silent else None
+  in
+  of_scp_outcome
+    (Scp.Runner.run ?seed ?gst ?delta ?max_time ?delay ~system ~peers_of
+       ~initial_value_of ~fault_of ())
+
+let scp_with_sink_detector ?(seed = 0) ?gst ?delta ?max_time
+    ?nonsink_threshold ~graph ~f ~faulty ~initial_value_of () =
+  (* Stage 1: the knowledge-increasing protocol (Algorithm 3). *)
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
+  in
+  let discovery =
+    Cup.Sink_protocol.run ~seed ?gst ?delta ?max_time ~graph ~f ~fault_of ()
+  in
+  (* Stage 2: Algorithm 2 slices from each process's own answer. *)
+  let slices_of_answer (a : Cup.Sink_oracle.answer) =
+    match (a.in_sink, nonsink_threshold) with
+    | false, Some threshold -> Fbqs.Slice.threshold ~members:a.view ~threshold
+    | _ -> Cup.Slice_builder.build_slices ~f a
+  in
+  let system =
+    Pid.Map.fold
+      (fun i a sys -> Pid.Map.add i (slices_of_answer a) sys)
+      discovery.answers Pid.Map.empty
+  in
+  let peers_of i =
+    match Pid.Map.find_opt i discovery.answers with
+    | Some (a : Cup.Sink_oracle.answer) -> a.view
+    | None -> Digraph.succs graph i
+  in
+  let scp_fault_of i =
+    if Pid.Set.mem i faulty then Some Scp.Runner.Silent
+    else if not (Pid.Map.mem i discovery.answers) then Some Scp.Runner.Silent
+    else None
+  in
+  let verdict =
+    of_scp_outcome ~discovery_msgs:discovery.stats.messages_sent
+      ~discovery_time:discovery.stats.end_time
+      (Scp.Runner.run ~seed:(seed + 1) ?gst ?delta ?max_time ~system ~peers_of
+         ~initial_value_of ~fault_of:scp_fault_of ())
+  in
+  (* "All decided" must cover every correct process of the graph, not
+     just those that survived discovery. *)
+  let correct = Pid.Set.diff (Digraph.vertices graph) faulty in
+  let discovery_complete =
+    Pid.Set.for_all (fun i -> Pid.Map.mem i discovery.answers) correct
+  in
+  { verdict with all_decided = verdict.all_decided && discovery_complete }
+
+let bftcup ?seed ?gst ?delta ?max_time ~graph ~f ~faulty ~initial_value_of ()
+    =
+  let o =
+    Bftcup.Protocol.run ?seed ?gst ?delta ?max_time ~graph ~f
+      ~initial_value_of ~faulty ()
+  in
+  {
+    all_decided = o.all_decided;
+    agreement = o.agreement;
+    validity = o.validity;
+    deciders = Pid.Map.cardinal o.decisions;
+    discovery_msgs = o.discovery_stats.messages_sent;
+    consensus_msgs = o.consensus_stats.messages_sent;
+    total_time = o.discovery_stats.end_time + o.consensus_stats.end_time;
+  }

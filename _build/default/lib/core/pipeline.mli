@@ -1,0 +1,71 @@
+(** End-to-end consensus stacks on a knowledge graph.
+
+    The paper's comparison, as runnable pipelines:
+
+    - {!scp_with_local_slices}: the Section IV strawman — SCP over
+      slices each process derives from [PD_i] and [f] alone. Subject to
+      Theorem 2's agreement violations.
+    - {!scp_with_sink_detector}: Corollary 2's stack — run the sink
+      detector (Algorithm 3), build slices with Algorithm 2, then run
+      SCP. Solves consensus whenever the graph is Byzantine-safe with a
+      2f+1-correct sink.
+    - {!bftcup}: the baseline — sink discovery, PBFT among the sink,
+      dissemination. Solves consensus from [PD_i] and [f] alone.
+
+    All three report the same outcome shape so experiments can tabulate
+    them side by side. *)
+
+open Graphkit
+
+type verdict = {
+  all_decided : bool;
+  agreement : bool;
+  validity : bool;
+  deciders : int;
+  discovery_msgs : int;  (** 0 for stacks without a discovery stage *)
+  consensus_msgs : int;
+  total_time : int;  (** simulated ticks across stages *)
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val scp_with_local_slices :
+  ?seed:int ->
+  ?gst:int ->
+  ?delta:int ->
+  ?max_time:int ->
+  ?delay:Simkit.Delay.t ->
+  ?rule:(Cup.Participant_detector.t -> Pid.t -> Fbqs.Slice.t) ->
+  graph:Digraph.t ->
+  f:int ->
+  faulty:Pid.Set.t ->
+  initial_value_of:(Pid.t -> Scp.Value.t) ->
+  unit ->
+  verdict
+
+val scp_with_sink_detector :
+  ?seed:int ->
+  ?gst:int ->
+  ?delta:int ->
+  ?max_time:int ->
+  ?nonsink_threshold:int ->
+  graph:Digraph.t ->
+  f:int ->
+  faulty:Pid.Set.t ->
+  initial_value_of:(Pid.t -> Scp.Value.t) ->
+  unit ->
+  verdict
+(** [nonsink_threshold] overrides the non-sink slice size of Algorithm 2
+    (default [f + 1]) for the ablation study. *)
+
+val bftcup :
+  ?seed:int ->
+  ?gst:int ->
+  ?delta:int ->
+  ?max_time:int ->
+  graph:Digraph.t ->
+  f:int ->
+  faulty:Pid.Set.t ->
+  initial_value_of:(Pid.t -> Scp.Value.t) ->
+  unit ->
+  verdict

@@ -1,0 +1,55 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows =
+  { id; title; header; rows; notes }
+
+let widths t =
+  let all = t.header :: t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+  in
+  let w = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> w.(i) <- max w.(i) (String.length cell))
+        row)
+    all;
+  w
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let pp ppf t =
+  let w = widths t in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad w.(i) cell) row)
+  in
+  Format.fprintf ppf "== %s: %s ==@." t.id t.title;
+  Format.fprintf ppf "%s@." (line t.header);
+  Format.fprintf ppf "%s@."
+    (String.concat "  "
+       (Array.to_list (Array.map (fun n -> String.make n '-') w)));
+  List.iter (fun row -> Format.fprintf ppf "%s@." (line row)) t.rows;
+  List.iter (fun n -> Format.fprintf ppf "   note: %s@." n) t.notes
+
+let to_markdown t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "### %s: %s\n\n" t.id t.title);
+  let row_md cells = "| " ^ String.concat " | " cells ^ " |\n" in
+  Buffer.add_string buf (row_md t.header);
+  Buffer.add_string buf
+    (row_md (List.map (fun _ -> "---") t.header));
+  List.iter (fun r -> Buffer.add_string buf (row_md r)) t.rows;
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "\n*%s*\n" n))
+    t.notes;
+  Buffer.contents buf
+
+let print t = Format.printf "%a@." pp t

@@ -1,0 +1,26 @@
+(** Tabular experiment reports, printed aligned for terminals and
+    dumpable as Markdown for EXPERIMENTS.md. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. "E3" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** expected-shape commentary printed under the table *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  header:string list ->
+  ?notes:string list ->
+  string list list ->
+  t
+
+val pp : Format.formatter -> t -> unit
+(** Column-aligned plain-text rendering. *)
+
+val to_markdown : t -> string
+
+val print : t -> unit
+(** [pp] to stdout followed by a blank line. *)

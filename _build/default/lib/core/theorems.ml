@@ -1,0 +1,43 @@
+open Graphkit
+
+type violation_witness = {
+  process_a : Pid.t;
+  quorum_a : Pid.Set.t;
+  process_b : Pid.t;
+  quorum_b : Pid.Set.t;
+}
+
+let pp_violation ppf w =
+  Format.fprintf ppf "Q_%d = %a and Q_%d = %a intersect in %d process(es)"
+    w.process_a Pid.Set.pp w.quorum_a w.process_b Pid.Set.pp w.quorum_b
+    (Pid.Set.cardinal (Pid.Set.inter w.quorum_a w.quorum_b))
+
+let theorem2_witness ?rule ~f g =
+  let rule = Option.value ~default:Cup.Local_slices.all_but_one rule in
+  let pd = Cup.Participant_detector.of_graph ~f g in
+  let sys = Cup.Local_slices.system ~rule pd in
+  match
+    Fbqs.Intertwine.violating_pair sys (Threshold f) (Digraph.vertices g)
+  with
+  | Some (a, qa, b, qb) ->
+      Some { process_a = a; quorum_a = qa; process_b = b; quorum_b = qb }
+  | None -> None
+
+let theorem3_holds ~f sys set =
+  Fbqs.Intertwine.set_intertwined sys (Threshold f) set
+
+let theorem3_closed_form ~sink_size ~f =
+  let t = Cup.Slice_builder.sink_threshold ~sink_size ~f in
+  (* Two size-t subsets of a sink_size universe overlap in at least
+     2t - sink_size members. *)
+  (2 * t) - sink_size > f
+
+let theorem4_holds ~f:_ ~correct sys =
+  Pid.Set.subset correct (Fbqs.Quorum.greatest_quorum_within sys correct)
+
+let theorem5_holds ~f ~correct sys =
+  theorem4_holds ~f ~correct sys && theorem3_holds ~f sys correct
+
+let inequality1_tight ~sink_size ~f ~faulty_in_sink =
+  sink_size
+  >= faulty_in_sink + Cup.Slice_builder.sink_threshold ~sink_size ~f

@@ -1,0 +1,54 @@
+(** Machine-checked validators for the paper's theorems.
+
+    Each function decides the theorem's statement on a concrete
+    instance; the benches sweep them over graph families to regenerate
+    the paper's results (EXPERIMENTS.md). *)
+
+open Graphkit
+
+type violation_witness = {
+  process_a : Pid.t;
+  quorum_a : Pid.Set.t;
+  process_b : Pid.t;
+  quorum_b : Pid.Set.t;
+}
+
+val pp_violation : Format.formatter -> violation_witness -> unit
+
+val theorem2_witness :
+  ?rule:(Cup.Participant_detector.t -> Pid.t -> Fbqs.Slice.t) ->
+  f:int ->
+  Digraph.t ->
+  violation_witness option
+(** Theorem 2: searches for a quorum-intersection violation
+    ([|Q_a ∩ Q_b| <= f]) when slices are defined locally from [PD] and
+    [f] (default rule: Theorem 2's all-but-one subsets). [None] means
+    this particular graph/rule admits no violation — the theorem only
+    claims existence of a failing graph (Fig. 2), not failure
+    everywhere. *)
+
+val theorem3_holds : f:int -> Fbqs.Quorum.system -> Pid.Set.t -> bool
+(** Theorem 3 on an instance: every pair of processes of the given set
+    is intertwined under the threshold-[f] criterion (checked on
+    enumerated minimal quorums; the set must stay within the
+    enumeration guard). *)
+
+val theorem3_closed_form : sink_size:int -> f:int -> bool
+(** The arithmetic core of Lemma 3: two subsets of a [sink_size]-member
+    sink, each of size [ceil ((sink_size + f + 1)/2)], must overlap in
+    more than [f] members. Holds for every [sink_size >= f + 1]. *)
+
+val theorem4_holds :
+  f:int -> correct:Pid.Set.t -> Fbqs.Quorum.system -> bool
+(** Theorem 4 on an instance: every correct process belongs to a quorum
+    made only of correct processes (via the greatest correct quorum). *)
+
+val theorem5_holds :
+  f:int -> correct:Pid.Set.t -> Fbqs.Quorum.system -> bool
+(** Theorem 5 on an instance: the correct processes form a consensus
+    cluster — quorum availability plus threshold intertwinement. *)
+
+val inequality1_tight : sink_size:int -> f:int -> faulty_in_sink:int -> bool
+(** Inequality 1 of Theorem 4's proof:
+    [sink_size >= faulty_in_sink + ceil((sink_size + f + 1)/2)] — the
+    availability margin for sink members. *)

@@ -1,0 +1,1 @@
+lib/cup/knowledge.ml: Graphkit Hashtbl Msg Option Pid

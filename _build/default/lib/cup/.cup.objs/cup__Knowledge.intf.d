@@ -1,0 +1,1 @@
+lib/cup/knowledge.mli: Graphkit Msg Pid

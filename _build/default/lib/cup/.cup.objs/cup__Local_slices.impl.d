@@ -1,0 +1,1 @@
+lib/cup/local_slices.ml: Fbqs Graphkit Participant_detector Pid

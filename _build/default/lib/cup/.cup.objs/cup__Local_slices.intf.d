@@ -1,0 +1,1 @@
+lib/cup/local_slices.mli: Fbqs Graphkit Participant_detector Pid

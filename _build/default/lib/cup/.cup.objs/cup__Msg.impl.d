@@ -1,0 +1,1 @@
+lib/cup/msg.ml: Format Graphkit List Pid

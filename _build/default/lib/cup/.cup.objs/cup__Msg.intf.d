@@ -1,0 +1,1 @@
+lib/cup/msg.mli: Format Graphkit Pid

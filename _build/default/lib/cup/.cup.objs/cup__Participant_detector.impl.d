@@ -1,0 +1,1 @@
+lib/cup/participant_detector.ml: Digraph Format Graphkit Pid

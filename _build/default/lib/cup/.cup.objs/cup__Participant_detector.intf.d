@@ -1,0 +1,1 @@
+lib/cup/participant_detector.mli: Digraph Format Graphkit Pid

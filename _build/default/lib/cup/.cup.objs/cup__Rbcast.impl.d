@@ -1,0 +1,1 @@
+lib/cup/rbcast.ml: Graphkit Hashtbl Int List Msg Option Pid

@@ -1,0 +1,1 @@
+lib/cup/rbcast.mli: Graphkit Msg Pid

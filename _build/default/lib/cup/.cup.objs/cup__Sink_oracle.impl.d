@@ -1,0 +1,1 @@
+lib/cup/sink_oracle.ml: Array Condensation Graphkit Pid Random

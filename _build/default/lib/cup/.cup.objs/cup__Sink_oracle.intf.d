@@ -1,0 +1,1 @@
+lib/cup/sink_oracle.mli: Digraph Graphkit Pid

@@ -1,0 +1,1 @@
+lib/cup/sink_protocol.ml: Delay Digraph Engine Graphkit Hashtbl Knowledge Msg Option Pid Rbcast Simkit Sink_oracle

@@ -1,0 +1,1 @@
+lib/cup/sink_protocol.mli: Digraph Graphkit Msg Pid Simkit Sink_oracle

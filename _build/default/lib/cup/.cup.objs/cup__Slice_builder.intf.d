@@ -1,0 +1,1 @@
+lib/cup/slice_builder.mli: Digraph Fbqs Graphkit Pid Sink_oracle

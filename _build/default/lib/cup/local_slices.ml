@@ -1,0 +1,17 @@
+open Graphkit
+
+let all_but_one pd i =
+  let members = Participant_detector.query pd i in
+  Fbqs.Slice.threshold ~members
+    ~threshold:(max 1 (Pid.Set.cardinal members - 1))
+
+let drop_f pd i =
+  let members = Participant_detector.query pd i in
+  Fbqs.Slice.threshold ~members
+    ~threshold:(max 1 (Pid.Set.cardinal members - Participant_detector.f pd))
+
+let system ~rule pd =
+  Pid.Set.fold
+    (fun i sys -> Pid.Map.add i (rule pd i) sys)
+    (Participant_detector.participants pd)
+    Pid.Map.empty

@@ -1,0 +1,23 @@
+(** Local slice definitions from [PD_i] and [f] alone — the Section IV
+    strawman that Theorem 2 proves insufficient.
+
+    Any local rule must satisfy Lemma 1 (slices are subsets of [PD_i])
+    and Lemma 2 (at least one slice avoids every candidate faulty set of
+    size [f], which for subset-closed threshold rules means threshold at
+    most [|PD_i| - f]). Both rules below do. *)
+
+open Graphkit
+
+val all_but_one : Participant_detector.t -> Pid.t -> Fbqs.Slice.t
+(** The rule used in Theorem 2's proof: all subsets of [PD_i] of size
+    [|PD_i| - 1]. Satisfies Lemma 2 whenever [f >= 1]. *)
+
+val drop_f : Participant_detector.t -> Pid.t -> Fbqs.Slice.t
+(** The tightest Lemma-2-compliant threshold rule: all subsets of
+    [PD_i] of size [max 1 (|PD_i| - f)]. *)
+
+val system :
+  rule:(Participant_detector.t -> Pid.t -> Fbqs.Slice.t) ->
+  Participant_detector.t ->
+  Fbqs.Quorum.system
+(** Applies a local rule to every participant of the knowledge graph. *)

@@ -1,0 +1,24 @@
+open Graphkit
+
+type t =
+  | Know_request
+  | Know of Pid.Set.t
+  | Get_sink of { origin : Pid.t; path : Pid.t list }
+  | Sink_reply of Pid.Set.t
+
+let pp ppf = function
+  | Know_request -> Format.pp_print_string ppf "know_request"
+  | Know s -> Format.fprintf ppf "know %a" Pid.Set.pp s
+  | Get_sink { origin; path } ->
+      Format.fprintf ppf "get_sink origin=%d path=[%a]" origin
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Pid.pp)
+        path
+  | Sink_reply s -> Format.fprintf ppf "sink_reply %a" Pid.Set.pp s
+
+let size = function
+  | Know_request -> 1
+  | Know s -> 1 + Pid.Set.cardinal s
+  | Get_sink { path; _ } -> 2 + List.length path
+  | Sink_reply s -> 1 + Pid.Set.cardinal s

@@ -1,0 +1,24 @@
+(** Wire messages of the CUP protocol suite (knowledge discovery,
+    reachable-reliable broadcast, sink replies). *)
+
+open Graphkit
+
+type t =
+  | Know_request
+      (** "Tell me your current known set, and keep me posted." *)
+  | Know of Pid.Set.t
+      (** The sender's current known set; re-sent to subscribers on
+          every change, so the last received copy is the sender's
+          current view. Doubles as the SINK confirmation echo. *)
+  | Get_sink of { origin : Pid.t; path : Pid.t list }
+      (** The reachable-reliable broadcast flood for Algorithm 3's
+          GET_SINK. [path] lists the relay chain starting at [origin];
+          honest relayers append themselves, and receivers reject
+          copies whose last element is not the physical sender. *)
+  | Sink_reply of Pid.Set.t
+      (** A sink member's answer to a GET_SINK request. *)
+
+val pp : Format.formatter -> t -> unit
+
+val size : t -> int
+(** Approximate wire size in "id units", for traffic accounting. *)

@@ -1,0 +1,12 @@
+open Graphkit
+
+type t = { graph : Digraph.t; f : int }
+
+let of_graph ~f graph = { graph; f }
+let query t i = Pid.Set.remove i (Digraph.succs t.graph i)
+let f t = t.f
+let graph t = t.graph
+let participants t = Digraph.vertices t.graph
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>f = %d@,%a@]" t.f Digraph.pp t.graph

@@ -1,0 +1,25 @@
+(** The participant detector oracle (Section III-E).
+
+    [PD_i] returns the subset of processes that process [i] can
+    initially contact; the union of all participant detectors is the
+    knowledge-connectivity graph (Definition 5). *)
+
+open Graphkit
+
+type t
+(** An instantiated PD oracle, backed by a knowledge graph and the
+    fault threshold [f] that accompanies it in the CUP model. *)
+
+val of_graph : f:int -> Digraph.t -> t
+
+val query : t -> Pid.t -> Pid.Set.t
+(** [query pd i] is [PD_i]; the empty set for unknown processes. Never
+    contains [i] itself. *)
+
+val f : t -> int
+
+val graph : t -> Digraph.t
+
+val participants : t -> Pid.Set.t
+
+val pp : Format.formatter -> t -> unit

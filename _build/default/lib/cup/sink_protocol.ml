@@ -1,0 +1,201 @@
+open Graphkit
+open Simkit
+
+type fault = Silent | Sink_liar of Pid.Set.t | Know_liar of Pid.Set.t
+
+type node_state = {
+  self : Pid.t;
+  f : int;
+  knowledge : Knowledge.t;
+  rb : Rbcast.t;
+  mutable asked : Pid.Set.t;
+  mutable answered : Pid.Set.t;
+  mutable replies : Pid.Set.t Pid.Map.t;  (* responder -> claimed sink *)
+  mutable sink : Pid.Set.t option;
+  mutable reported : bool;
+}
+
+let make_state ~self ~pd ~f ?max_copies_per_origin () =
+  {
+    self;
+    f;
+    knowledge = Knowledge.create ~self ~pd ~f;
+    rb = Rbcast.create ~self ~neighbors:pd ~f ?max_copies_per_origin ();
+    asked = Pid.Set.empty;
+    answered = Pid.Set.empty;
+    replies = Pid.Map.empty;
+    sink = None;
+    reported = false;
+  }
+
+let sender ctx j m = Engine.send ctx j m
+
+(* Once the sink is known, answer every pending GET_SINK request
+   (Algorithm 3's send_sink loop). *)
+let flush_asked st ctx =
+  match st.sink with
+  | None -> ()
+  | Some v ->
+      let pending = Pid.Set.diff st.asked st.answered in
+      Pid.Set.iter
+        (fun j ->
+          st.answered <- Pid.Set.add j st.answered;
+          sender ctx j (Msg.Sink_reply v))
+        pending
+
+let report st ctx ~on_result =
+  match st.sink with
+  | Some v when not st.reported ->
+      st.reported <- true;
+      on_result st.self
+        { Sink_oracle.in_sink = Pid.Set.mem st.self v; view = v };
+      flush_asked st ctx
+  | Some _ | None -> ()
+
+(* The wait_sink rule: adopt a value echoed by more than f distinct
+   responders. *)
+let check_replies st =
+  match st.sink with
+  | Some _ -> ()
+  | None ->
+      let counts = Hashtbl.create 8 in
+      Pid.Map.iter
+        (fun _ v ->
+          let key = Pid.Set.to_string v in
+          let n, _ =
+            Option.value ~default:(0, v) (Hashtbl.find_opt counts key)
+          in
+          Hashtbl.replace counts key (n + 1, v))
+        st.replies;
+      Hashtbl.iter
+        (fun _ (n, v) -> if n > st.f && st.sink = None then st.sink <- Some v)
+        counts
+
+let check_sink_primitive st =
+  match st.sink with
+  | Some _ -> ()
+  | None -> (
+      match Knowledge.sink_result st.knowledge with
+      | Some v -> st.sink <- Some v
+      | None -> ())
+
+let honest ~self ~pd ~f ?max_copies_per_origin ~on_result () :
+    Msg.t Engine.behavior =
+  let st = make_state ~self ~pd ~f ?max_copies_per_origin () in
+  let on_start ctx =
+    Knowledge.start st.knowledge ~send:(sender ctx);
+    Rbcast.broadcast st.rb ~send:(sender ctx)
+  in
+  let on_message ctx ~src (m : Msg.t) =
+    (match m with
+    | Know_request ->
+        Knowledge.on_know_request st.knowledge ~send:(sender ctx) ~src
+    | Know view ->
+        Knowledge.on_know st.knowledge ~send:(sender ctx) ~src view;
+        check_sink_primitive st
+    | Get_sink { origin; path } -> (
+        match Rbcast.on_get_sink st.rb ~send:(sender ctx) ~src ~origin ~path with
+        | Some origin -> st.asked <- Pid.Set.add origin st.asked
+        | None -> ())
+    | Sink_reply v ->
+        st.replies <- Pid.Map.add src v st.replies;
+        check_replies st);
+    report st ctx ~on_result;
+    (* Requests can keep arriving after the first report; answer them
+       too (Algorithm 3's send_sink loop never stops). *)
+    flush_asked st ctx
+  in
+  { on_start; on_message; on_timer = (fun _ _ -> ()) }
+
+let faulty ~self ~pd ~f ?max_copies_per_origin fault : Msg.t Engine.behavior =
+  match fault with
+  | Silent -> Engine.idle_behavior
+  | Sink_liar fake ->
+      let st = make_state ~self ~pd ~f ?max_copies_per_origin () in
+      let lie_to ctx origin =
+        if not (Pid.Set.mem origin st.answered) then begin
+          st.answered <- Pid.Set.add origin st.answered;
+          sender ctx origin (Msg.Sink_reply fake)
+        end
+      in
+      let on_start ctx =
+        Knowledge.start st.knowledge ~send:(sender ctx);
+        Rbcast.broadcast st.rb ~send:(sender ctx)
+      in
+      let on_message ctx ~src (m : Msg.t) =
+        match m with
+        | Know_request ->
+            Knowledge.on_know_request st.knowledge ~send:(sender ctx) ~src
+        | Know view -> Knowledge.on_know st.knowledge ~send:(sender ctx) ~src view
+        | Get_sink { origin; path } ->
+            (* Relay honestly to stay plausible, but lie eagerly to any
+               origin whose request we merely glimpse. *)
+            ignore
+              (Rbcast.on_get_sink st.rb ~send:(sender ctx) ~src ~origin ~path);
+            if not (Pid.equal origin self) then lie_to ctx origin
+        | Sink_reply _ -> ()
+      in
+      { on_start; on_message; on_timer = (fun _ _ -> ()) }
+  | Know_liar fakes ->
+      (* Honest state machine whose outgoing Know messages are inflated
+         with fabricated ids; the lie is uniform across receivers. *)
+      let st = make_state ~self ~pd ~f ?max_copies_per_origin () in
+      let lying_sender ctx j (m : Msg.t) =
+        let m =
+          match m with
+          | Know view -> Msg.Know (Pid.Set.union view fakes)
+          | other -> other
+        in
+        Engine.send ctx j m
+      in
+      let on_start ctx =
+        Knowledge.start st.knowledge ~send:(lying_sender ctx);
+        Rbcast.broadcast st.rb ~send:(sender ctx)
+      in
+      let on_message ctx ~src (m : Msg.t) =
+        match m with
+        | Know_request ->
+            Knowledge.on_know_request st.knowledge ~send:(lying_sender ctx) ~src
+        | Know view ->
+            Knowledge.on_know st.knowledge ~send:(lying_sender ctx) ~src view
+        | Get_sink { origin; path } -> (
+            match
+              Rbcast.on_get_sink st.rb ~send:(sender ctx) ~src ~origin ~path
+            with
+            | Some origin -> st.asked <- Pid.Set.add origin st.asked
+            | None -> ())
+        | Sink_reply _ -> ()
+      in
+      { on_start; on_message; on_timer = (fun _ _ -> ()) }
+
+type run_result = {
+  answers : Sink_oracle.answer Pid.Map.t;
+  stats : Engine.stats;
+}
+
+let run ?(seed = 0) ?(gst = 50) ?(delta = 10) ?(max_time = 100_000)
+    ?max_copies_per_origin ~graph ~f ~fault_of () =
+  let delay = Delay.partial_synchrony ~gst ~delta ~seed in
+  let engine = Engine.create ~pp_msg:Msg.pp ~delay () in
+  let answers = ref Pid.Map.empty in
+  let correct = ref Pid.Set.empty in
+  let on_result pid answer =
+    answers := Pid.Map.add pid answer !answers
+  in
+  Pid.Set.iter
+    (fun i ->
+      let pd = Digraph.succs graph i in
+      match fault_of i with
+      | Some fault ->
+          Engine.add_node engine i
+            (faulty ~self:i ~pd ~f ?max_copies_per_origin fault)
+      | None ->
+          correct := Pid.Set.add i !correct;
+          Engine.add_node engine i
+            (honest ~self:i ~pd ~f ?max_copies_per_origin ~on_result ()))
+    (Digraph.vertices graph);
+  let all_done () =
+    Pid.Set.for_all (fun i -> Pid.Map.mem i !answers) !correct
+  in
+  let stats = Engine.run ~max_time ~stop:all_done engine in
+  { answers = !answers; stats }

@@ -1,0 +1,61 @@
+(** Algorithm 3 — the distributed sink detector — as simulator
+    behaviours, plus a turnkey runner.
+
+    Every process starts a GET_SINK reachable broadcast and runs the
+    SINK primitive concurrently (the paper's two [fork]s). Sink members
+    terminate SINK directly and answer the GET_SINK requests they
+    delivered; non-sink members adopt the first sink value reported by
+    more than [f] distinct processes. *)
+
+open Graphkit
+
+type fault =
+  | Silent
+      (** crashes from the start: contributes nothing anywhere *)
+  | Sink_liar of Pid.Set.t
+      (** participates honestly in knowledge dissemination and flood
+          relaying, but eagerly answers every GET_SINK origin it sees
+          with the given fake sink value *)
+  | Know_liar of Pid.Set.t
+      (** honest except that its [Know] messages additionally claim the
+          given fabricated ids (the same lie to everybody) *)
+
+val honest :
+  self:Pid.t ->
+  pd:Pid.Set.t ->
+  f:int ->
+  ?max_copies_per_origin:int ->
+  on_result:(Pid.t -> Sink_oracle.answer -> unit) ->
+  unit ->
+  Msg.t Simkit.Engine.behavior
+
+val faulty :
+  self:Pid.t ->
+  pd:Pid.Set.t ->
+  f:int ->
+  ?max_copies_per_origin:int ->
+  fault ->
+  Msg.t Simkit.Engine.behavior
+
+type run_result = {
+  answers : Sink_oracle.answer Pid.Map.t;
+      (** one entry per correct process that completed get_sink *)
+  stats : Simkit.Engine.stats;
+}
+
+val run :
+  ?seed:int ->
+  ?gst:int ->
+  ?delta:int ->
+  ?max_time:int ->
+  ?max_copies_per_origin:int ->
+  graph:Digraph.t ->
+  f:int ->
+  fault_of:(Pid.t -> fault option) ->
+  unit ->
+  run_result
+(** Simulates Algorithm 3 on the whole knowledge graph under partial
+    synchrony ([gst] defaults to 50, [delta] to 10) until every correct
+    process has returned from [get_sink] or [max_time] (default
+    100_000) elapses. [fault_of] designates the faulty processes and
+    their behaviour. *)

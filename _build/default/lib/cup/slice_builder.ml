@@ -1,0 +1,20 @@
+open Graphkit
+
+let sink_threshold ~sink_size ~f = (sink_size + f + 2) / 2
+
+let build_slices ~f (answer : Sink_oracle.answer) =
+  let members = answer.view in
+  let threshold =
+    if answer.in_sink then
+      sink_threshold ~sink_size:(Pid.Set.cardinal members) ~f
+    else f + 1
+  in
+  Fbqs.Slice.threshold ~members ~threshold
+
+let system_via_oracle ?oracle ~f g =
+  let oracle =
+    match oracle with Some o -> o | None -> Sink_oracle.get_sink g
+  in
+  Pid.Set.fold
+    (fun i sys -> Pid.Map.add i (build_slices ~f (oracle i)) sys)
+    (Digraph.vertices g) Pid.Map.empty

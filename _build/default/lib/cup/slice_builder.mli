@@ -1,0 +1,24 @@
+(** Algorithm 2: building slices from the sink-detector answer.
+
+    Sink members take all subsets of [V] of size
+    [ceil ((|V| + f + 1) / 2)]; non-sink members take all subsets of
+    their view [V] of size [f + 1]. With these slices every two correct
+    processes are intertwined (Theorem 3) and every correct process
+    keeps an all-correct quorum (Theorem 4), provided the sink holds at
+    least [2f + 1] correct processes. *)
+
+open Graphkit
+
+val sink_threshold : sink_size:int -> f:int -> int
+(** [ceil ((sink_size + f + 1) / 2)]. *)
+
+val build_slices : f:int -> Sink_oracle.answer -> Fbqs.Slice.t
+(** The literal Algorithm 2, on a sink-detector answer. *)
+
+val system_via_oracle :
+  ?oracle:(Pid.t -> Sink_oracle.answer) ->
+  f:int ->
+  Digraph.t ->
+  Fbqs.Quorum.system
+(** Builds the whole system's slices by querying an oracle for every
+    participant (default: {!Sink_oracle.get_sink} on the graph). *)

@@ -1,0 +1,1 @@
+lib/fbqs/analysis.ml: Array Dset Graphkit Int List Pid Quorum Slice

@@ -1,0 +1,1 @@
+lib/fbqs/analysis.mli: Graphkit Pid Quorum

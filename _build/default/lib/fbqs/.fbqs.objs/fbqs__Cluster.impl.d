@@ -1,0 +1,1 @@
+lib/fbqs/cluster.ml: Array Graphkit Intertwine List Pid Quorum

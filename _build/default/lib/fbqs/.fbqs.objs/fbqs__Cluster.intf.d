@@ -1,0 +1,1 @@
+lib/fbqs/cluster.mli: Graphkit Intertwine Pid Quorum

@@ -1,0 +1,1 @@
+lib/fbqs/dset.ml: Array Graphkit List Pid Quorum Slice

@@ -1,0 +1,1 @@
+lib/fbqs/dset.mli: Graphkit Pid Quorum

@@ -1,0 +1,1 @@
+lib/fbqs/intertwine.ml: Graphkit List Option Pid Quorum

@@ -1,0 +1,1 @@
+lib/fbqs/intertwine.mli: Graphkit Pid Quorum

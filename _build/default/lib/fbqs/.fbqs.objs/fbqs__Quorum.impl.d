@@ -1,0 +1,1 @@
+lib/fbqs/quorum.ml: Array Graphkit List Option Pid Slice

@@ -1,0 +1,1 @@
+lib/fbqs/quorum.mli: Graphkit Pid Slice

@@ -1,0 +1,1 @@
+lib/fbqs/slice.ml: Format Graphkit List Pid

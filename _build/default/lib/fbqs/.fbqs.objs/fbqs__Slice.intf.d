@@ -1,0 +1,1 @@
+lib/fbqs/slice.mli: Format Graphkit Pid

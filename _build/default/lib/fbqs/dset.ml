@@ -1,0 +1,88 @@
+open Graphkit
+
+let delete sys b =
+  Pid.Map.filter_map
+    (fun i slices ->
+      if Pid.Set.mem i b then None
+      else
+        Some
+          (match slices with
+          | Slice.Explicit l ->
+              Slice.Explicit (List.map (fun s -> Pid.Set.diff s b) l)
+          | Slice.Threshold { members; threshold } ->
+              (* Deleting [b] from "all t-subsets of members" yields the
+                 set {s \ b}, whose weakest elements are the
+                 (t - |members ∩ b|)-subsets of the survivors; both
+                 has_slice_within and all_slices_intersect depend only
+                 on those, so the result is exactly a threshold slice
+                 over the survivors with the reduced threshold. *)
+              let hit = Pid.Set.cardinal (Pid.Set.inter members b) in
+              Slice.Threshold
+                {
+                  members = Pid.Set.diff members b;
+                  threshold = max 0 (threshold - hit);
+                }))
+    sys
+
+(* Mazières' definition: V \ B must be a quorum of the ORIGINAL system
+   (or B covers everything) — availability is judged before deletion,
+   intersection after. *)
+let quorum_availability_despite sys b =
+  let survivors = Pid.Set.diff (Quorum.participants sys) b in
+  Pid.Set.is_empty survivors || Quorum.is_quorum sys survivors
+
+let quorum_intersection_despite sys b =
+  let deleted = delete sys b in
+  let quorums = Quorum.enum_quorums deleted in
+  let rec pairwise = function
+    | [] -> true
+    | q :: rest ->
+        List.for_all
+          (fun q' -> not (Pid.Set.is_empty (Pid.Set.inter q q')))
+          rest
+        && pairwise rest
+  in
+  pairwise quorums
+
+(* [b] may name nodes outside the slice map (e.g. Byzantine processes
+   that declared nothing): they belong to no quorum, so deleting them
+   only prunes them out of others' slices. *)
+let is_dset sys b =
+  quorum_availability_despite sys b && quorum_intersection_despite sys b
+
+let subsets_of set =
+  let elts = Array.of_list (Pid.Set.elements set) in
+  let n = Array.length elts in
+  if n > 20 then invalid_arg "Dset: more than 20 participants";
+  List.init (1 lsl n) (fun mask ->
+      let s = ref Pid.Set.empty in
+      for b = 0 to n - 1 do
+        if mask land (1 lsl b) <> 0 then s := Pid.Set.add elts.(b) !s
+      done;
+      !s)
+
+let all_dsets ?(extra = Pid.Set.empty) sys =
+  List.filter (is_dset sys)
+    (subsets_of (Pid.Set.union (Quorum.participants sys) extra))
+
+let minimal_dsets sys =
+  let dsets = all_dsets sys in
+  List.filter
+    (fun d ->
+      not
+        (List.exists
+           (fun d' -> (not (Pid.Set.equal d d')) && Pid.Set.subset d' d)
+           dsets))
+    dsets
+
+let intact sys ~faulty =
+  let dsets = all_dsets ~extra:faulty sys in
+  Pid.Set.filter
+    (fun v ->
+      List.exists
+        (fun d -> Pid.Set.subset faulty d && not (Pid.Set.mem v d))
+        dsets)
+    (Quorum.participants sys)
+
+let befouled sys ~faulty =
+  Pid.Set.diff (Quorum.participants sys) (intact sys ~faulty)

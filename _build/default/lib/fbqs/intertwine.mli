@@ -1,0 +1,37 @@
+(** Intertwined sets of processes (Definition 2 and the threshold-based
+    variant of Section III-F). *)
+
+open Graphkit
+
+type mode =
+  | Correct_witness of Pid.Set.t
+      (** Definition 2: every pair of quorums intersects in at least one
+          member of the given correct set [W]. *)
+  | Threshold of int
+      (** Section III-F: every pair of quorums intersects in more than
+          [f] processes. *)
+
+val pair_intertwined :
+  ?universe:Pid.Set.t -> Quorum.system -> mode -> Pid.t -> Pid.t -> bool
+(** [pair_intertwined sys mode i j]: every quorum of [i] and every
+    quorum of [j] (within [universe]) intersect as demanded by [mode].
+    Checked on inclusion-minimal quorums, which is sufficient because
+    intersections only grow under supersets. Vacuously true when either
+    process has no quorum. *)
+
+val set_intertwined :
+  ?universe:Pid.Set.t -> Quorum.system -> mode -> Pid.Set.t -> bool
+(** Definition 2 over a whole set: all (unordered, including reflexive)
+    pairs are intertwined. *)
+
+val violating_pair :
+  ?universe:Pid.Set.t ->
+  Quorum.system ->
+  mode ->
+  Pid.Set.t ->
+  (Pid.t * Pid.Set.t * Pid.t * Pid.Set.t) option
+(** A witness [(i, Q_i, j, Q_j)] of an intersection violation inside the
+    given set, if any — the shape of the Theorem 2 counter-example. *)
+
+val threshold_pair_ok : f:int -> Pid.Set.t -> Pid.Set.t -> bool
+(** The raw Section III-F test: [|q ∩ q'| > f]. *)

@@ -1,0 +1,99 @@
+open Graphkit
+
+type system = Slice.t Pid.Map.t
+
+let system_of_list l =
+  List.fold_left (fun m (i, s) -> Pid.Map.add i s m) Pid.Map.empty l
+
+let slices_of sys i =
+  Option.value ~default:(Slice.Explicit []) (Pid.Map.find_opt i sys)
+
+let participants = Pid.Map.keys
+
+(* The per-member test of Algorithm 1, with a per-evaluation cache.
+   Threshold systems built by Algorithm 2 share one [members] set record
+   across all processes, so the [|q ∩ members|] count — the whole cost
+   of the symbolic test — is computed once per distinct (physically
+   shared) member set instead of once per process. *)
+let member_ok_cached q =
+  let memo = ref [] in
+  let inter_count members =
+    match List.find_opt (fun (m, _) -> m == members) !memo with
+    | Some (_, c) -> c
+    | None ->
+        let c = Pid.Set.cardinal (Pid.Set.inter members q) in
+        memo := (members, c) :: !memo;
+        c
+  in
+  fun sys i ->
+    match slices_of sys i with
+    | Slice.Threshold { members; threshold } ->
+        threshold <= Pid.Set.cardinal members
+        && inter_count members >= threshold
+    | s -> Slice.has_slice_within s q
+
+let is_quorum sys q =
+  (not (Pid.Set.is_empty q))
+  &&
+  let ok = member_ok_cached q sys in
+  Pid.Set.for_all (fun i -> ok i) q
+
+let is_quorum_of sys i q = Pid.Set.mem i q && is_quorum sys q
+
+let greatest_quorum_within sys set =
+  (* Discard members with no slice inside the current candidate until a
+     fixpoint. Since the union of two quorums is a quorum, the fixpoint
+     is the union of all quorums within [set]. *)
+  let rec go cur =
+    let ok = member_ok_cached cur sys in
+    let keep = Pid.Set.filter (fun i -> ok i) cur in
+    if Pid.Set.equal keep cur then cur else go keep
+  in
+  go set
+
+let contains_quorum sys set =
+  not (Pid.Set.is_empty (greatest_quorum_within sys set))
+
+let subsets_fold f universe acc =
+  let elts = Array.of_list (Pid.Set.elements universe) in
+  let n = Array.length elts in
+  if n > 20 then
+    invalid_arg "Quorum.enum_quorums: universe larger than 20 processes";
+  let acc = ref acc in
+  for mask = 1 to (1 lsl n) - 1 do
+    let s = ref Pid.Set.empty in
+    for b = 0 to n - 1 do
+      if mask land (1 lsl b) <> 0 then s := Pid.Set.add elts.(b) !s
+    done;
+    acc := f !s !acc
+  done;
+  !acc
+
+let enum_quorums ?universe sys =
+  let universe = Option.value ~default:(participants sys) universe in
+  subsets_fold
+    (fun s acc -> if is_quorum sys s then s :: acc else acc)
+    universe []
+
+let keep_minimal quorums =
+  List.filter
+    (fun q ->
+      not
+        (List.exists
+           (fun q' -> (not (Pid.Set.equal q q')) && Pid.Set.subset q' q)
+           quorums))
+    quorums
+
+let minimal_quorums ?universe sys = keep_minimal (enum_quorums ?universe sys)
+
+let minimal_quorums_of ?universe sys i =
+  let quorums_of_i =
+    List.filter (Pid.Set.mem i) (enum_quorums ?universe sys)
+  in
+  keep_minimal quorums_of_i
+
+let is_v_blocking sys i b =
+  match slices_of sys i with
+  | Slice.Explicit [] -> false
+  | s when Slice.slice_count s = 0 -> false
+  | s -> Slice.all_slices_intersect s b

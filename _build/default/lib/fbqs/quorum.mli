@@ -1,0 +1,56 @@
+(** Quorums of a Federated Byzantine Quorum System (Definition 1 and
+    Algorithm 1 of the paper). *)
+
+open Graphkit
+
+type system = Slice.t Pid.Map.t
+(** A slice assignment: one slice set per process. Processes absent
+    from the map have declared nothing (e.g. Byzantine processes that
+    stay silent); they can never satisfy the per-member slice condition
+    and hence belong to no quorum. *)
+
+val system_of_list : (Pid.t * Slice.t) list -> system
+
+val slices_of : system -> Pid.t -> Slice.t
+(** The slice set declared by a process; [Explicit []] when absent. *)
+
+val participants : system -> Pid.Set.t
+(** Processes with a declared slice set. *)
+
+val is_quorum : system -> Pid.Set.t -> bool
+(** Algorithm 1: [Q] is a quorum iff it is non-empty and every
+    [i ∈ Q] has a slice contained in [Q]. (The empty set satisfies the
+    definition vacuously but is excluded, matching standard FBQS
+    usage.) *)
+
+val is_quorum_of : system -> Pid.t -> Pid.Set.t -> bool
+(** A quorum {e of} process [i]: a quorum containing [i]. *)
+
+val greatest_quorum_within : system -> Pid.Set.t -> Pid.Set.t
+(** The unique largest quorum contained in the given set (possibly the
+    empty set, which signals that the set contains no quorum). Computed
+    by iteratively discarding members that have no slice inside the
+    remaining set; correctness follows from quorums being closed under
+    union. *)
+
+val contains_quorum : system -> Pid.Set.t -> bool
+(** Whether some (non-empty) quorum lies within the set. *)
+
+val enum_quorums : ?universe:Pid.Set.t -> system -> Pid.Set.t list
+(** All quorums included in [universe] (default: all participants).
+    Exponential in [|universe|]; guarded to [|universe| <= 20].
+    @raise Invalid_argument beyond the guard. *)
+
+val minimal_quorums : ?universe:Pid.Set.t -> system -> Pid.Set.t list
+(** The inclusion-minimal quorums within [universe]. *)
+
+val minimal_quorums_of : ?universe:Pid.Set.t -> system -> Pid.t -> Pid.Set.t list
+(** The inclusion-minimal elements of [Q_i] (quorums of process [i])
+    within [universe]. Every quorum of [i] contains one of these, so
+    universally quantified intersection properties need only be checked
+    on this list. *)
+
+val is_v_blocking : system -> Pid.t -> Pid.Set.t -> bool
+(** [is_v_blocking sys i b]: the set [b] intersects every slice of [i].
+    Used by SCP federated voting; false when [i] declared no slices
+    (with no slices nothing can be accepted through blocking). *)

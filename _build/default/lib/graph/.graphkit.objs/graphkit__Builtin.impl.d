@@ -1,0 +1,1 @@
+lib/graph/builtin.ml: Digraph Pid

@@ -1,0 +1,1 @@
+lib/graph/condensation.ml: Array Digraph List Pid Scc Seq

@@ -1,0 +1,1 @@
+lib/graph/condensation.mli: Digraph Pid

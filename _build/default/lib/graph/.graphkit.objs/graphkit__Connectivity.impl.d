@@ -1,0 +1,1 @@
+lib/graph/connectivity.ml: Digraph Flow Hashtbl List Pid

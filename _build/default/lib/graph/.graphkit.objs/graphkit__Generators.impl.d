@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Digraph List Pid Properties Random

@@ -1,0 +1,1 @@
+lib/graph/metrics.ml: Condensation Digraph Format List Option Pid Scc Traversal

@@ -1,0 +1,1 @@
+lib/graph/parse.ml: Buffer Digraph Fun List Option Pid Printf String

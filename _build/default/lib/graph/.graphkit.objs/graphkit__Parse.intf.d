@@ -1,0 +1,1 @@
+lib/graph/parse.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/pid.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/graph/pid.mli: Format Map Set

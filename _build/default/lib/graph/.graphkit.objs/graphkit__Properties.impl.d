@@ -1,0 +1,1 @@
+lib/graph/properties.ml: Condensation Connectivity Digraph Format List Pid Result Traversal

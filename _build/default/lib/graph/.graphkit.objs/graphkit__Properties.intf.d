@@ -1,0 +1,1 @@
+lib/graph/properties.mli: Digraph Format Pid

@@ -1,0 +1,1 @@
+lib/graph/scc.ml: Digraph Hashtbl List Pid Stack

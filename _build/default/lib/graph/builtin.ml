@@ -1,0 +1,43 @@
+let fig1 =
+  Digraph.of_adjacency
+    [
+      (1, [ 2; 5 ]);
+      (2, [ 4 ]);
+      (3, [ 5; 7 ]);
+      (4, [ 5; 6; 8 ]);
+      (5, [ 6; 7 ]);
+      (6, [ 5; 7; 8 ]);
+      (7, [ 5; 6; 8 ]);
+      (8, [ 5; 7 ]);
+    ]
+
+let fig1_sink = Pid.Set.of_list [ 5; 6; 7; 8 ]
+let fig1_faulty = Pid.Set.singleton 8
+
+let fig1_slices =
+  let s = Pid.Set.of_list in
+  [
+    (1, [ s [ 2; 5 ] ]);
+    (2, [ s [ 4 ] ]);
+    (3, [ s [ 5; 7 ] ]);
+    (4, [ s [ 5; 6 ]; s [ 6; 8 ] ]);
+    (5, [ s [ 6; 7 ] ]);
+    (6, [ s [ 5; 7 ]; s [ 7; 8 ] ]);
+    (7, [ s [ 5; 6 ]; s [ 6; 8 ] ]);
+  ]
+
+let fig2 =
+  Digraph.of_adjacency
+    [
+      (1, [ 2; 3; 4 ]);
+      (2, [ 1; 3; 4 ]);
+      (3, [ 1; 2; 4 ]);
+      (4, [ 1; 2; 3 ]);
+      (5, [ 6; 7; 1 ]);
+      (6, [ 5; 7; 2 ]);
+      (7, [ 5; 6; 3 ]);
+    ]
+
+let fig2_sink = Pid.Set.of_list [ 1; 2; 3; 4 ]
+let fig2_quorum_sinkside = Pid.Set.of_list [ 1; 2; 3; 4 ]
+let fig2_quorum_nonsink = Pid.Set.of_list [ 5; 6; 7 ]

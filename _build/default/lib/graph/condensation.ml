@@ -1,0 +1,47 @@
+type t = {
+  comps : Pid.Set.t array;
+  index : int Pid.Map.t;
+  dag : int list array;
+}
+
+let make g =
+  let comps = Array.of_list (Scc.components g) in
+  let index =
+    Array.to_seqi comps
+    |> Seq.fold_left
+         (fun m (k, c) -> Pid.Set.fold (fun v m -> Pid.Map.add v k m) c m)
+         Pid.Map.empty
+  in
+  let n = Array.length comps in
+  let succ_sets = Array.make n [] in
+  Digraph.fold_edges
+    (fun i j () ->
+      let ci = Pid.Map.find i index and cj = Pid.Map.find j index in
+      if ci <> cj && not (List.mem cj succ_sets.(ci)) then
+        succ_sets.(ci) <- cj :: succ_sets.(ci))
+    g ();
+  { comps; index; dag = succ_sets }
+
+let components t = t.comps
+
+let component_of t i =
+  match Pid.Map.find_opt i t.index with
+  | Some k -> k
+  | None -> raise Not_found
+
+let dag_succs t k = t.dag.(k)
+
+let sinks t =
+  let acc = ref [] in
+  Array.iteri (fun k succs -> if succs = [] then acc := k :: !acc) t.dag;
+  List.rev !acc
+
+let sink_components g =
+  let t = make g in
+  List.map (fun k -> t.comps.(k)) (sinks t)
+
+let unique_sink g =
+  match sink_components g with [ c ] -> Some c | _ -> None
+
+let is_sink_member g i =
+  List.exists (Pid.Set.mem i) (sink_components g)

@@ -1,0 +1,63 @@
+(* Node splitting: vertex v becomes v_in -> v_out with capacity 1
+   (unbounded for the two endpoints), and each graph edge (u, v) becomes
+   u_out -> v_in with capacity 1. Edge capacity 1 is exact here: two
+   internally disjoint paths can never share an edge, because sharing an
+   edge implies sharing one of its endpoints as an internal vertex. *)
+
+let big = 1_000_000
+
+let node_disjoint_paths g src dst =
+  if Pid.equal src dst then 0
+  else if not (Digraph.mem_vertex src g && Digraph.mem_vertex dst g) then 0
+  else begin
+    let verts = Pid.Set.elements (Digraph.vertices g) in
+    let id = Hashtbl.create (List.length verts) in
+    List.iteri (fun k v -> Hashtbl.replace id v k) verts;
+    let n = List.length verts in
+    let v_in v = 2 * Hashtbl.find id v in
+    let v_out v = (2 * Hashtbl.find id v) + 1 in
+    let net = Flow.create ~n:(2 * n) ~source:(v_in src) ~sink:(v_out dst) in
+    List.iter
+      (fun v ->
+        let cap = if Pid.equal v src || Pid.equal v dst then big else 1 in
+        Flow.add_edge net (v_in v) (v_out v) cap)
+      verts;
+    Digraph.fold_edges
+      (fun u v () -> Flow.add_edge net (v_out u) (v_in v) 1)
+      g ();
+    Flow.max_flow net
+  end
+
+let is_k_strongly_connected g k =
+  let verts = Pid.Set.elements (Digraph.vertices g) in
+  match verts with
+  | [] | [ _ ] -> true
+  | _ ->
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j -> Pid.equal i j || node_disjoint_paths g i j >= k)
+            verts)
+        verts
+
+let vertex_connectivity g =
+  let verts = Pid.Set.elements (Digraph.vertices g) in
+  match verts with
+  | [] | [ _ ] -> max_int
+  | _ ->
+      List.fold_left
+        (fun acc i ->
+          List.fold_left
+            (fun acc j ->
+              if Pid.equal i j then acc
+              else min acc (node_disjoint_paths g i j))
+            acc verts)
+        max_int verts
+
+let disjoint_paths_within g ~allowed src dst =
+  let keep = Pid.Set.add src (Pid.Set.add dst allowed) in
+  node_disjoint_paths (Digraph.subgraph keep g) src dst
+
+let f_reachable g ~correct f src dst =
+  Pid.Set.mem src correct && Pid.Set.mem dst correct
+  && disjoint_paths_within g ~allowed:correct src dst >= f + 1

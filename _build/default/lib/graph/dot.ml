@@ -1,0 +1,28 @@
+let to_dot ?(highlight = Pid.Set.empty) ?(faulty = Pid.Set.empty)
+    ?(name = "knowledge") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Pid.Set.iter
+    (fun v ->
+      let attrs = ref [] in
+      if Pid.Set.mem v highlight then attrs := "peripheries=2" :: !attrs;
+      if Pid.Set.mem v faulty then
+        attrs := "style=filled" :: "fillcolor=gray" :: !attrs;
+      let attr_s =
+        match !attrs with
+        | [] -> ""
+        | l -> Printf.sprintf " [%s]" (String.concat ", " l)
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d%s;\n" v attr_s))
+    (Digraph.vertices g);
+  List.iter
+    (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" i j))
+    (Digraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?highlight ?faulty ?name path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?highlight ?faulty ?name g))

@@ -1,0 +1,22 @@
+(** Graphviz (DOT) export of knowledge-connectivity graphs, for
+    inspecting generated topologies and reproducing the paper's
+    figures. *)
+
+val to_dot :
+  ?highlight:Pid.Set.t ->
+  ?faulty:Pid.Set.t ->
+  ?name:string ->
+  Digraph.t ->
+  string
+(** Renders the graph in DOT syntax. Vertices in [highlight] (e.g. the
+    sink component) are drawn as doubled circles; vertices in [faulty]
+    are filled. *)
+
+val to_file :
+  ?highlight:Pid.Set.t ->
+  ?faulty:Pid.Set.t ->
+  ?name:string ->
+  string ->
+  Digraph.t ->
+  unit
+(** Writes {!to_dot} output to the given path. *)

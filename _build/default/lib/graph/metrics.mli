@@ -1,0 +1,22 @@
+(** Structural metrics of knowledge-connectivity graphs, for the CLI's
+    analyse command and the experiment reports. *)
+
+type t = {
+  vertices : int;
+  edges : int;
+  min_out_degree : int;
+  max_out_degree : int;
+  avg_out_degree : float;
+  min_in_degree : int;
+  max_in_degree : int;
+  density : float;  (** edges / (n * (n-1)); 0 for n <= 1 *)
+  diameter : int option;
+      (** longest finite directed distance over ordered reachable
+          pairs; [None] for graphs with fewer than 2 vertices *)
+  scc_count : int;
+  sink_size : int option;  (** size of the unique sink component, if any *)
+}
+
+val compute : Digraph.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno g = function
+    | [] -> Ok g
+    | line :: rest -> (
+        let line = String.trim (strip_comment line) in
+        if line = "" then go (lineno + 1) g rest
+        else
+          match String.index_opt line ':' with
+          | None ->
+              Error
+                (Printf.sprintf "line %d: expected 'vertex: succ...'" lineno)
+          | Some i -> (
+              let vertex = String.trim (String.sub line 0 i) in
+              let succs =
+                String.sub line (i + 1) (String.length line - i - 1)
+                |> String.split_on_char ' '
+                |> List.filter_map (fun s ->
+                       let s = String.trim s in
+                       if s = "" then None else Some s)
+              in
+              match
+                ( int_of_string_opt vertex,
+                  List.map int_of_string_opt succs )
+              with
+              | None, _ ->
+                  Error
+                    (Printf.sprintf "line %d: bad vertex id %S" lineno vertex)
+              | Some v, parsed ->
+                  if List.exists Option.is_none parsed then
+                    Error
+                      (Printf.sprintf "line %d: bad successor id" lineno)
+                  else
+                    let g =
+                      List.fold_left
+                        (fun g s -> Digraph.add_edge v (Option.get s) g)
+                        (Digraph.add_vertex v g) parsed
+                    in
+                    go (lineno + 1) g rest))
+  in
+  go 1 Digraph.empty lines
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          of_string (really_input_string ic n))
+
+let to_string g =
+  let buf = Buffer.create 128 in
+  Pid.Set.iter
+    (fun v ->
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ':';
+      Pid.Set.iter
+        (fun s ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int s))
+        (Digraph.succs g v);
+      Buffer.add_char buf '\n')
+    (Digraph.vertices g);
+  Buffer.contents buf

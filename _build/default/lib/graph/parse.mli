@@ -1,0 +1,20 @@
+(** Parsing knowledge-connectivity graphs from a small adjacency-list
+    text format, so the CLI can analyse user-provided topologies:
+
+    {v
+    # comments and blank lines are ignored
+    1: 2 5
+    2: 4
+    3: 5 7
+    8:          # a vertex with no outgoing knowledge
+    v} *)
+
+val of_string : string -> (Digraph.t, string) result
+(** Parses the adjacency format; returns a human-readable error message
+    naming the offending line otherwise. *)
+
+val of_file : string -> (Digraph.t, string) result
+
+val to_string : Digraph.t -> string
+(** Renders a graph back into the same format ([of_string] of the
+    result is the identity). *)

@@ -1,0 +1,45 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp = Format.pp_print_int
+
+module Set = struct
+  include Set.Make (Int)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Format.pp_print_int)
+      (elements s)
+
+  let of_range lo hi =
+    let rec go acc i = if i < lo then acc else go (add i acc) (i - 1) in
+    go empty hi
+
+  let to_string s = Format.asprintf "%a" pp s
+
+  let choose_distinct k s =
+    if cardinal s < k then None
+    else
+      let rec take k = function
+        | _ when k = 0 -> []
+        | [] -> []
+        | x :: rest -> x :: take (k - 1) rest
+      in
+      Some (take k (elements s))
+end
+
+module Map = struct
+  include Map.Make (Int)
+
+  let keys m = fold (fun k _ acc -> Set.add k acc) m Set.empty
+
+  let pp pp_v ppf m =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf (k, v) -> Format.fprintf ppf "%d -> %a" k pp_v v))
+      (bindings m)
+end

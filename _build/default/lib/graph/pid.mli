@@ -1,0 +1,39 @@
+(** Process identities.
+
+    Every participant of the system is named by a small non-negative
+    integer. This module fixes that representation and provides the
+    specialised sets and maps used across the whole code base, so that
+    protocol code never manipulates bare [int] containers. *)
+
+type t = int
+(** A process identity. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+
+  val of_range : int -> int -> t
+  (** [of_range lo hi] is the set [{lo, lo+1, ..., hi}]; empty if
+      [hi < lo]. *)
+
+  val to_string : t -> string
+
+  val choose_distinct : int -> t -> elt list option
+  (** [choose_distinct k s] returns [k] distinct elements of [s] in
+      increasing order, or [None] if [cardinal s < k]. *)
+end
+
+module Map : sig
+  include Map.S with type key = t
+
+  val keys : 'a t -> Set.t
+
+  val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+end

@@ -1,0 +1,83 @@
+(* Iterative Tarjan: an explicit stack mirrors the recursion so large
+   graphs cannot overflow the OCaml stack. *)
+
+type state = {
+  mutable index : int;
+  indices : (Pid.t, int) Hashtbl.t;
+  lowlinks : (Pid.t, int) Hashtbl.t;
+  on_stack : (Pid.t, unit) Hashtbl.t;
+  stack : Pid.t Stack.t;
+  mutable sccs : Pid.Set.t list;
+}
+
+let components g =
+  let st =
+    {
+      index = 0;
+      indices = Hashtbl.create 64;
+      lowlinks = Hashtbl.create 64;
+      on_stack = Hashtbl.create 64;
+      stack = Stack.create ();
+      sccs = [];
+    }
+  in
+  let visit root =
+    (* Each frame is (vertex, remaining successors). *)
+    let frames = Stack.create () in
+    let push v =
+      Hashtbl.replace st.indices v st.index;
+      Hashtbl.replace st.lowlinks v st.index;
+      st.index <- st.index + 1;
+      Stack.push v st.stack;
+      Hashtbl.replace st.on_stack v ();
+      Stack.push (v, ref (Pid.Set.elements (Digraph.succs g v))) frames
+    in
+    push root;
+    while not (Stack.is_empty frames) do
+      let v, rest = Stack.top frames in
+      match !rest with
+      | w :: tl ->
+          rest := tl;
+          if not (Hashtbl.mem st.indices w) then push w
+          else if Hashtbl.mem st.on_stack w then
+            Hashtbl.replace st.lowlinks v
+              (min (Hashtbl.find st.lowlinks v) (Hashtbl.find st.indices w))
+      | [] ->
+          ignore (Stack.pop frames);
+          if Hashtbl.find st.lowlinks v = Hashtbl.find st.indices v then begin
+            let rec collect acc =
+              let w = Stack.pop st.stack in
+              Hashtbl.remove st.on_stack w;
+              let acc = Pid.Set.add w acc in
+              if Pid.equal w v then acc else collect acc
+            in
+            st.sccs <- collect Pid.Set.empty :: st.sccs
+          end;
+          if not (Stack.is_empty frames) then begin
+            let parent, _ = Stack.top frames in
+            Hashtbl.replace st.lowlinks parent
+              (min (Hashtbl.find st.lowlinks parent) (Hashtbl.find st.lowlinks v))
+          end
+    done
+  in
+  Pid.Set.iter
+    (fun v -> if not (Hashtbl.mem st.indices v) then visit v)
+    (Digraph.vertices g);
+  List.rev st.sccs
+
+let component_of g i =
+  match List.find_opt (Pid.Set.mem i) (components g) with
+  | Some c -> c
+  | None -> raise Not_found
+
+let component_index g =
+  let _, m =
+    List.fold_left
+      (fun (k, m) c ->
+        (k + 1, Pid.Set.fold (fun v m -> Pid.Map.add v k m) c m))
+      (0, Pid.Map.empty) (components g)
+  in
+  m
+
+let is_strongly_connected g =
+  match components g with [] -> true | [ _ ] -> true | _ -> false

@@ -1,0 +1,19 @@
+(** Strongly connected components (Tarjan's algorithm). *)
+
+val components : Digraph.t -> Pid.Set.t list
+(** The strongly connected components of the graph, in reverse
+    topological order of the condensation (a component is listed before
+    any component it has an edge to... specifically, Tarjan emits each
+    component only after all components reachable from it). Every vertex
+    appears in exactly one component. *)
+
+val component_of : Digraph.t -> Pid.t -> Pid.Set.t
+(** The component containing the given vertex.
+    @raise Not_found if the vertex is not in the graph. *)
+
+val component_index : Digraph.t -> int Pid.Map.t
+(** Maps each vertex to the index of its component in [components]. *)
+
+val is_strongly_connected : Digraph.t -> bool
+(** Whether the whole (non-empty) graph is a single SCC. The empty graph
+    is considered strongly connected. *)

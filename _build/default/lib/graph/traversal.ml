@@ -1,0 +1,72 @@
+let bfs_layers g src =
+  if not (Digraph.mem_vertex src g) then []
+  else
+    let rec go seen frontier layers =
+      if Pid.Set.is_empty frontier then List.rev layers
+      else
+        let next =
+          Pid.Set.fold
+            (fun i acc -> Pid.Set.union acc (Digraph.succs g i))
+            frontier Pid.Set.empty
+        in
+        let next = Pid.Set.diff next seen in
+        go (Pid.Set.union seen next) next (if Pid.Set.is_empty next then layers else next :: layers)
+    in
+    let start = Pid.Set.singleton src in
+    go start start [ start ]
+
+let reachable g src =
+  List.fold_left Pid.Set.union Pid.Set.empty (bfs_layers g src)
+
+let reachable_from_set g srcs =
+  Pid.Set.fold (fun i acc -> Pid.Set.union acc (reachable g i)) srcs Pid.Set.empty
+
+let distance g src dst =
+  let rec find d = function
+    | [] -> None
+    | layer :: rest ->
+        if Pid.Set.mem dst layer then Some d else find (d + 1) rest
+  in
+  find 0 (bfs_layers g src)
+
+let shortest_path g src dst =
+  if not (Digraph.mem_vertex src g && Digraph.mem_vertex dst g) then None
+  else
+    (* Standard BFS keeping a parent pointer per discovered vertex. *)
+    let parents = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.add src q;
+    Hashtbl.replace parents src src;
+    let rec loop () =
+      if Queue.is_empty q then None
+      else
+        let i = Queue.pop q in
+        if Pid.equal i dst then
+          let rec rebuild acc j =
+            if Pid.equal j src then src :: acc
+            else rebuild (j :: acc) (Hashtbl.find parents j)
+          in
+          Some (rebuild [] dst)
+        else begin
+          Pid.Set.iter
+            (fun j ->
+              if not (Hashtbl.mem parents j) then begin
+                Hashtbl.replace parents j i;
+                Queue.add j q
+              end)
+            (Digraph.succs g i);
+          loop ()
+        end
+    in
+    loop ()
+
+let is_connected_undirected g =
+  match Pid.Set.choose_opt (Digraph.vertices g) with
+  | None -> true
+  | Some v ->
+      let u = Digraph.undirected g in
+      Pid.Set.equal (reachable u v) (Digraph.vertices g)
+
+let eccentricity g i =
+  if not (Digraph.mem_vertex i g) then None
+  else Some (List.length (bfs_layers g i) - 1)

@@ -1,0 +1,1 @@
+lib/scp/ballot.ml: Format Int Value

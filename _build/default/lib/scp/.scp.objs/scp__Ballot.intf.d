@@ -1,0 +1,1 @@
+lib/scp/ballot.mli: Format Value

@@ -1,0 +1,1 @@
+lib/scp/fvoting.ml: Fbqs Graphkit List Pid Statement

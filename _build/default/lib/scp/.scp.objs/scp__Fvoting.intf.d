@@ -1,0 +1,1 @@
+lib/scp/fvoting.mli: Fbqs Graphkit Pid Statement

@@ -1,0 +1,1 @@
+lib/scp/ledger.ml: Format Graphkit List Node Option Pid Runner Value

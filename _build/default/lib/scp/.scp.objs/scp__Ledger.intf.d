@@ -1,0 +1,1 @@
+lib/scp/ledger.mli: Fbqs Format Graphkit Pid Runner Value

@@ -1,0 +1,1 @@
+lib/scp/msg.ml: Fbqs Format Graphkit Int List Pid Set Statement

@@ -1,0 +1,1 @@
+lib/scp/msg.mli: Fbqs Format Graphkit Pid Set Statement

@@ -1,0 +1,1 @@
+lib/scp/node.ml: Ballot Engine Fbqs Format Fvoting Graphkit Int List Msg Pid Printf Simkit Statement Value

@@ -1,0 +1,1 @@
+lib/scp/node.mli: Ballot Fbqs Format Graphkit Msg Pid Simkit Statement Value

@@ -1,0 +1,1 @@
+lib/scp/runner.ml: Ballot Delay Engine Fbqs Format Graphkit List Msg Node Pid Simkit Statement Value

@@ -1,0 +1,1 @@
+lib/scp/runner.mli: Fbqs Format Graphkit Node Pid Simkit Statement Value

@@ -1,0 +1,1 @@
+lib/scp/statement.ml: Ballot Format Int Map Value

@@ -1,0 +1,1 @@
+lib/scp/statement.mli: Ballot Format Map Value

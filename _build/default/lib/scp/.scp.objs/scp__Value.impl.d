@@ -1,0 +1,1 @@
+lib/scp/value.ml: Format Int List Set

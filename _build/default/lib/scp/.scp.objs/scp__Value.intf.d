@@ -1,0 +1,1 @@
+lib/scp/value.mli: Format

@@ -1,0 +1,82 @@
+open Graphkit
+
+type tally = {
+  voters : Pid.Set.t;
+  acceptors : Pid.Set.t;
+  mutable i_voted : bool;
+  mutable i_accepted : bool;
+  mutable i_confirmed : bool;
+}
+
+type t = {
+  self : Pid.t;
+  system : unit -> Fbqs.Quorum.system;
+  mutable tallies : tally Statement.Map.t;
+}
+
+let empty_tally () =
+  {
+    voters = Pid.Set.empty;
+    acceptors = Pid.Set.empty;
+    i_voted = false;
+    i_accepted = false;
+    i_confirmed = false;
+  }
+
+let create ~self ~system = { self; system; tallies = Statement.Map.empty }
+let self t = t.self
+
+let tally t stmt =
+  match Statement.Map.find_opt stmt t.tallies with
+  | Some tl -> tl
+  | None -> empty_tally ()
+
+let update t stmt f =
+  let tl = tally t stmt in
+  t.tallies <- Statement.Map.add stmt (f tl) t.tallies
+
+let rec record_vote t stmt src =
+  update t stmt (fun tl -> { tl with voters = Pid.Set.add src tl.voters });
+  List.iter (fun s -> record_vote t s src) (Statement.implied stmt)
+
+let rec record_accept t stmt src =
+  update t stmt (fun tl ->
+      {
+        tl with
+        voters = Pid.Set.add src tl.voters;
+        acceptors = Pid.Set.add src tl.acceptors;
+      });
+  List.iter (fun s -> record_accept t s src) (Statement.implied stmt)
+
+let tally_exn t stmt =
+  (match Statement.Map.find_opt stmt t.tallies with
+  | Some _ -> ()
+  | None -> t.tallies <- Statement.Map.add stmt (empty_tally ()) t.tallies);
+  Statement.Map.find stmt t.tallies
+
+let set_voted t stmt = (tally_exn t stmt).i_voted <- true
+
+(* Rule (a) of accept and the confirm rule demand a quorum containing
+   this node all of whose members assert the statement — the node's own
+   assertion is part of the tally (recorded when it broadcasts), so no
+   special-casing of [self] here. *)
+let member_of_quorum_within t s =
+  Pid.Set.mem t.self (Fbqs.Quorum.greatest_quorum_within (t.system ()) s)
+
+let quorum_votes t stmt = member_of_quorum_within t (tally t stmt).voters
+
+let blocking_accepts t stmt =
+  Fbqs.Quorum.is_v_blocking (t.system ()) t.self (tally t stmt).acceptors
+
+let can_accept t stmt =
+  let tl = tally t stmt in
+  (not tl.i_accepted) && (quorum_votes t stmt || blocking_accepts t stmt)
+
+let can_confirm t stmt =
+  let tl = tally t stmt in
+  (not tl.i_confirmed) && member_of_quorum_within t tl.acceptors
+
+let mark_accepted t stmt = (tally_exn t stmt).i_accepted <- true
+let mark_confirmed t stmt = (tally_exn t stmt).i_confirmed <- true
+
+let statements t = List.map fst (Statement.Map.bindings t.tallies)

@@ -1,0 +1,65 @@
+(** The federated voting core (Mazières 2015; Section III-D semantics).
+
+    For each statement a node tracks who voted and who accepted it, and
+    applies the two FBQS transition rules:
+
+    - {b accept}: some quorum containing this node voted-or-accepted the
+      statement, {e or} a v-blocking set accepted it (the v-blocking arm
+      lets a node accept a statement it did not vote for);
+    - {b confirm}: some quorum containing this node accepted it (the
+      node "ratifies" the acceptance).
+
+    Quorum membership is evaluated against a slice system: a set [S]
+    holds a quorum containing the node iff the node belongs to the
+    greatest quorum within [S ∪ {self}]. *)
+
+open Graphkit
+
+type tally = {
+  voters : Pid.Set.t;  (** nodes seen voting-or-accepting *)
+  acceptors : Pid.Set.t;  (** nodes seen accepting *)
+  mutable i_voted : bool;
+  mutable i_accepted : bool;
+  mutable i_confirmed : bool;
+}
+
+type t
+
+val create : self:Pid.t -> system:(unit -> Fbqs.Quorum.system) -> t
+(** [system] is consulted at every evaluation, so the slice knowledge
+    may grow while voting is under way (nodes learn declarations from
+    envelopes). *)
+
+val self : t -> Pid.t
+
+val tally : t -> Statement.t -> tally
+(** The current tally for a statement (all-empty if never seen). *)
+
+val record_vote : t -> Statement.t -> Pid.t -> unit
+(** Registers that a node voted for the statement (also counts implied
+    statements). Recording is idempotent. *)
+
+val record_accept : t -> Statement.t -> Pid.t -> unit
+(** Registers an acceptance (an acceptance also counts as
+    vote-or-accept, and propagates to implied statements). *)
+
+val set_voted : t -> Statement.t -> unit
+(** Marks the local vote (the caller must also broadcast it and call
+    {!record_vote} for itself). *)
+
+val quorum_votes : t -> Statement.t -> bool
+(** Whether a quorum containing this node voted-or-accepted it. *)
+
+val blocking_accepts : t -> Statement.t -> bool
+(** Whether a v-blocking set for this node accepted it. *)
+
+val can_accept : t -> Statement.t -> bool
+
+val can_confirm : t -> Statement.t -> bool
+
+val mark_accepted : t -> Statement.t -> unit
+
+val mark_confirmed : t -> Statement.t -> unit
+
+val statements : t -> Statement.t list
+(** All statements with a non-trivial tally, in statement order. *)

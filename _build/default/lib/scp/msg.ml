@@ -1,0 +1,49 @@
+open Graphkit
+
+type kind = Vote | Accept
+
+type t = {
+  origin : Pid.t;
+  kind : kind;
+  stmt : Statement.t;
+  slices : Fbqs.Slice.t;
+}
+
+let vote origin ~slices stmt = { origin; kind = Vote; stmt; slices }
+let accept origin ~slices stmt = { origin; kind = Accept; stmt; slices }
+
+let kind_tag = function Vote -> 0 | Accept -> 1
+
+(* A canonical total order on slice declarations (Set.compare is
+   representation-independent, unlike polymorphic compare). *)
+let compare_slices a b =
+  match (a, b) with
+  | ( Fbqs.Slice.Threshold { members = m1; threshold = t1 },
+      Fbqs.Slice.Threshold { members = m2; threshold = t2 } ) -> (
+      match Int.compare t1 t2 with 0 -> Pid.Set.compare m1 m2 | c -> c)
+  | Fbqs.Slice.Explicit l1, Fbqs.Slice.Explicit l2 ->
+      List.compare Pid.Set.compare l1 l2
+  | Fbqs.Slice.Threshold _, Fbqs.Slice.Explicit _ -> -1
+  | Fbqs.Slice.Explicit _, Fbqs.Slice.Threshold _ -> 1
+
+let compare a b =
+  match Pid.compare a.origin b.origin with
+  | 0 -> (
+      match Int.compare (kind_tag a.kind) (kind_tag b.kind) with
+      | 0 -> (
+          match Statement.compare a.stmt b.stmt with
+          | 0 -> compare_slices a.slices b.slices
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp ppf m =
+  Format.fprintf ppf "%s(%d, %a)"
+    (match m.kind with Vote -> "vote" | Accept -> "accept")
+    m.origin Statement.pp m.stmt
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

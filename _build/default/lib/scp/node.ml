@@ -1,0 +1,415 @@
+open Graphkit
+open Simkit
+
+type decision = { value : Value.t; ballot : Ballot.t; time : int }
+
+let pp_decision ppf d =
+  Format.fprintf ppf "%a at ballot %a (t=%d)" Value.pp d.value Ballot.pp
+    d.ballot d.time
+
+type nomination_strategy = Echo_all | Leader_priority of int
+
+type config = {
+  self : Pid.t;
+  my_slices : Fbqs.Slice.t;
+  initial_peers : Pid.Set.t;
+  initial_value : Value.t;
+  ballot_timeout : int;
+  nomination : nomination_strategy;
+  on_decide : Pid.t -> decision -> unit;
+}
+
+(* splitmix-style avalanche; any fixed deterministic mix works, it only
+   has to be shared and collision-unfriendly. *)
+let priority v =
+  let z = (v + 0x9e3779b9) land 0x3fffffff in
+  let z = z * 0x85ebca6b land 0x3fffffffffff in
+  let z = (z lxor (z lsr 13)) * 0xc2b2ae35 in
+  (z lxor (z lsr 16)) land max_int
+
+type state = {
+  cfg : config;
+  fv : Fvoting.t;
+  known_slices : Fbqs.Quorum.system ref;
+      (* slice declarations learned from envelopes, own included *)
+  mutable peers : Pid.Set.t;
+  mutable seen : Msg.Set.t;  (* envelope dedup for flooding *)
+  mutable sent : Msg.t list;  (* own envelopes, newest first, for syncs *)
+  mutable candidates : Value.t list;
+  mutable current : Ballot.t option;
+  mutable high_prepared : Ballot.t option;  (* highest confirmed prepared *)
+  mutable decided : decision option;
+  mutable nom_round : int;  (* leader-priority nomination round *)
+}
+
+let make_state cfg =
+  let known_slices = ref (Pid.Map.singleton cfg.self cfg.my_slices) in
+  {
+    cfg;
+    fv =
+      Fvoting.create ~self:cfg.self ~system:(fun () -> !known_slices);
+    known_slices;
+    peers = Pid.Set.remove cfg.self cfg.initial_peers;
+    seen = Msg.Set.empty;
+    sent = [];
+    candidates = [];
+    current = None;
+    high_prepared = None;
+    decided = None;
+    nom_round = 1;
+  }
+
+(* The leader set for the current round: the [nom_round]
+   highest-priority members of the slice domain (self included), so
+   leader sets grow round by round and eventually cover someone alive
+   and someone shared with every peer. *)
+let leaders st =
+  let domain =
+    Pid.Set.add st.cfg.self (Fbqs.Slice.domain st.cfg.my_slices)
+  in
+  let ranked =
+    List.sort
+      (fun a b -> Int.compare (priority b) (priority a))
+      (Pid.Set.elements domain)
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  Pid.Set.of_list (take st.nom_round ranked)
+
+let nomination_active st = st.candidates = []
+
+(* ---- outgoing traffic ------------------------------------------------ *)
+
+let broadcast st ctx (env : Msg.t) =
+  st.seen <- Msg.Set.add env st.seen;
+  Pid.Set.iter (fun j -> Engine.send ctx j env) st.peers
+
+let emit_own st ctx env =
+  st.sent <- env :: st.sent;
+  broadcast st ctx env
+
+let relay st ctx ~src (env : Msg.t) =
+  Pid.Set.iter
+    (fun j ->
+      if not (Pid.equal j src || Pid.equal j env.origin) then
+        Engine.send ctx j env)
+    st.peers
+
+(* A newly met peer gets our whole history so that late joiners (e.g.
+   sink members contacted by unknown non-sink members) can serve as
+   quorum witnesses for them. *)
+let sync_to st ctx j = List.iter (fun env -> Engine.send ctx j env) st.sent
+
+(* ---- local voting actions ------------------------------------------- *)
+
+let vote st ctx stmt =
+  let tl = Fvoting.tally st.fv stmt in
+  if not tl.i_voted then begin
+    Fvoting.set_voted st.fv stmt;
+    Fvoting.record_vote st.fv stmt st.cfg.self;
+    emit_own st ctx (Msg.vote st.cfg.self ~slices:st.cfg.my_slices stmt)
+  end
+
+let accept st ctx stmt =
+  Fvoting.mark_accepted st.fv stmt;
+  Fvoting.record_accept st.fv stmt st.cfg.self;
+  emit_own st ctx (Msg.accept st.cfg.self ~slices:st.cfg.my_slices stmt)
+
+(* ---- prepared-statement tallies with counter subsumption ------------- *)
+
+(* A vote for Prepare (n', x) with n' >= n supports Prepare (n, x): the
+   higher prepare aborts strictly more ballots. Concrete SCP messages
+   carry ballot ranges; here we merge tallies at evaluation time. *)
+let merged_sets st stmt =
+  match stmt with
+  | Statement.Prepare b ->
+      List.fold_left
+        (fun (voters, acceptors) s ->
+          match s with
+          | Statement.Prepare b'
+            when Ballot.compatible b b' && b'.Ballot.counter >= b.Ballot.counter
+            ->
+              let tl = Fvoting.tally st.fv s in
+              ( Pid.Set.union voters tl.voters,
+                Pid.Set.union acceptors tl.acceptors )
+          | _ -> (voters, acceptors))
+        (Pid.Set.empty, Pid.Set.empty)
+        (Fvoting.statements st.fv)
+  | _ ->
+      let tl = Fvoting.tally st.fv stmt in
+      (tl.voters, tl.acceptors)
+
+let member_of_quorum st s =
+  Pid.Set.mem st.cfg.self
+    (Fbqs.Quorum.greatest_quorum_within !(st.known_slices) s)
+
+(* Accepting a statement is forbidden when we already accepted a
+   contradicting one: prepare(b) aborts lower incompatible ballots, so
+   it contradicts their commits, and vice versa. *)
+let contradicts_accepted st stmt =
+  let accepted s = (Fvoting.tally st.fv s).i_accepted in
+  match stmt with
+  | Statement.Prepare b ->
+      List.exists
+        (fun s ->
+          match s with
+          | Statement.Commit b' ->
+              accepted s && Ballot.less_and_incompatible b' b
+          | _ -> false)
+        (Fvoting.statements st.fv)
+  | Statement.Commit b ->
+      List.exists
+        (fun s ->
+          match s with
+          | Statement.Prepare b' ->
+              accepted s && Ballot.less_and_incompatible b b'
+          | _ -> false)
+        (Fvoting.statements st.fv)
+  | Statement.Nominate _ -> false
+
+let can_accept st stmt =
+  let tl = Fvoting.tally st.fv stmt in
+  (not tl.i_accepted)
+  && (not (contradicts_accepted st stmt))
+  &&
+  let voters, acceptors = merged_sets st stmt in
+  member_of_quorum st voters
+  || Fbqs.Quorum.is_v_blocking !(st.known_slices) st.cfg.self acceptors
+
+let can_confirm st stmt =
+  let tl = Fvoting.tally st.fv stmt in
+  (not tl.i_confirmed)
+  &&
+  let _, acceptors = merged_sets st stmt in
+  member_of_quorum st acceptors
+
+(* ---- ballot machinery ------------------------------------------------ *)
+
+let arm_ballot_timer st ctx =
+  match st.current with
+  | Some b ->
+      Engine.set_timer ctx
+        ~delay:(st.cfg.ballot_timeout * b.Ballot.counter)
+        (Printf.sprintf "ballot:%d" b.Ballot.counter)
+  | None -> ()
+
+let next_ballot_value st =
+  match st.high_prepared with
+  | Some h -> h.Ballot.value
+  | None -> Value.combine st.candidates
+
+let enter_ballot st ctx b =
+  st.current <- Some b;
+  vote st ctx (Statement.Prepare b);
+  arm_ballot_timer st ctx
+
+(* May we vote to commit b? Not if we asserted any higher incompatible
+   prepare (which voted to abort b). *)
+let may_vote_commit st b =
+  List.for_all
+    (fun s ->
+      match s with
+      | Statement.Prepare b' ->
+          let tl = Fvoting.tally st.fv s in
+          (not (tl.i_voted || tl.i_accepted))
+          || not (Ballot.less_and_incompatible b b')
+      | _ -> true)
+    (Fvoting.statements st.fv)
+
+let on_confirmed st ctx stmt =
+  match stmt with
+  | Statement.Nominate v ->
+      if not (List.exists (Value.equal v) st.candidates) then begin
+        st.candidates <- v :: st.candidates;
+        if st.current = None then
+          enter_ballot st ctx (Ballot.make 1 (Value.combine st.candidates))
+      end
+  | Statement.Prepare b ->
+      (match st.high_prepared with
+      | Some h when Ballot.compare h b >= 0 -> ()
+      | Some _ | None -> st.high_prepared <- Some b);
+      if may_vote_commit st b then vote st ctx (Statement.Commit b)
+  | Statement.Commit b ->
+      if st.decided = None then begin
+        let d =
+          { value = b.Ballot.value; ballot = b; time = Engine.now ctx }
+        in
+        st.decided <- Some d;
+        st.cfg.on_decide st.cfg.self d
+      end
+
+(* Run accept/confirm transitions to a fixpoint: each acceptance can
+   unlock further acceptances and confirmations. *)
+let rec progress st ctx =
+  let changed = ref false in
+  List.iter
+    (fun stmt ->
+      if can_accept st stmt then begin
+        accept st ctx stmt;
+        changed := true
+      end;
+      if can_confirm st stmt then begin
+        Fvoting.mark_confirmed st.fv stmt;
+        on_confirmed st ctx stmt;
+        changed := true
+      end)
+    (Fvoting.statements st.fv);
+  if !changed then progress st ctx
+
+(* Catching up: accepting a prepare above our ballot pulls us onto it
+   (the v-blocking "jump" of concrete SCP). *)
+let maybe_jump st ctx =
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Statement.Prepare b ->
+          let accepted = (Fvoting.tally st.fv stmt).i_accepted in
+          let above_current =
+            match st.current with
+            | None -> true
+            | Some cur -> Ballot.compare b cur > 0
+          in
+          if accepted && above_current then enter_ballot st ctx b
+      | Statement.Nominate _ | Statement.Commit _ -> ())
+    (Fvoting.statements st.fv)
+
+(* ---- the behaviour ---------------------------------------------------- *)
+
+(* Nominate our own value if we are a current leader, and arm the
+   round timer (leader-priority strategy only). *)
+let start_nomination st ctx =
+  match st.cfg.nomination with
+  | Echo_all -> vote st ctx (Statement.Nominate st.cfg.initial_value)
+  | Leader_priority timeout ->
+      if Pid.Set.mem st.cfg.self (leaders st) then
+        vote st ctx (Statement.Nominate st.cfg.initial_value);
+      Engine.set_timer ctx ~delay:timeout
+        (Printf.sprintf "nom:%d" st.nom_round)
+
+(* A nomination round timed out without producing a candidate: admit
+   the next leader and second any value the enlarged leader set already
+   voted for. *)
+let bump_nomination_round st ctx timeout =
+  st.nom_round <- st.nom_round + 1;
+  let ls = leaders st in
+  if Pid.Set.mem st.cfg.self ls then
+    vote st ctx (Statement.Nominate st.cfg.initial_value);
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Statement.Nominate _ ->
+          let tl = Fvoting.tally st.fv stmt in
+          if not (Pid.Set.is_empty (Pid.Set.inter tl.voters ls)) then
+            vote st ctx stmt
+      | Statement.Prepare _ | Statement.Commit _ -> ())
+    (Fvoting.statements st.fv);
+  Engine.set_timer ctx
+    ~delay:(timeout * st.nom_round)
+    (Printf.sprintf "nom:%d" st.nom_round)
+
+let behavior cfg : Msg.t Engine.behavior =
+  let st = make_state cfg in
+  let on_start ctx = start_nomination st ctx in
+  let on_message ctx ~src (env : Msg.t) =
+    if not (Pid.Set.mem src st.peers) && not (Pid.equal src cfg.self) then begin
+      st.peers <- Pid.Set.add src st.peers;
+      sync_to st ctx src
+    end;
+    if not (Msg.Set.mem env st.seen) then begin
+      st.seen <- Msg.Set.add env st.seen;
+      (* Learn the origin's declared slices; a later conflicting
+         declaration (equivocation, only Byzantine nodes do it) is
+         ignored — first writer wins, as with a pinned certificate. *)
+      if not (Pid.Map.mem env.origin !(st.known_slices)) then
+        st.known_slices :=
+          Pid.Map.add env.origin env.slices !(st.known_slices);
+      relay st ctx ~src env;
+      (match env.kind with
+      | Msg.Vote ->
+          Fvoting.record_vote st.fv env.stmt env.origin;
+          (* Nomination echo: until we have a candidate, second
+             nominated values — all of them, or only the current
+             leaders', depending on the strategy. *)
+          (match env.stmt with
+          | Statement.Nominate _ when nomination_active st -> (
+              match st.cfg.nomination with
+              | Echo_all -> vote st ctx env.stmt
+              | Leader_priority _ ->
+                  if Pid.Set.mem env.origin (leaders st) then
+                    vote st ctx env.stmt)
+          | _ -> ())
+      | Msg.Accept -> Fvoting.record_accept st.fv env.stmt env.origin);
+      progress st ctx;
+      maybe_jump st ctx
+    end
+  in
+  let on_timer ctx tag =
+    match st.cfg.nomination with
+    | Leader_priority timeout
+      when tag = Printf.sprintf "nom:%d" st.nom_round
+           && nomination_active st && st.decided = None ->
+        bump_nomination_round st ctx timeout
+    | _ -> (
+        match (st.current, st.decided) with
+        | Some cur, None
+          when tag = Printf.sprintf "ballot:%d" cur.Ballot.counter ->
+            let b =
+              Ballot.make (cur.Ballot.counter + 1) (next_ballot_value st)
+            in
+            enter_ballot st ctx b;
+            progress st ctx
+        | _ -> ())
+  in
+  { on_start; on_message; on_timer }
+
+(* ---- byzantine variants ---------------------------------------------- *)
+
+let silent : Msg.t Engine.behavior = Engine.idle_behavior
+
+let accept_forger ~self ~slices ~peers stmts : Msg.t Engine.behavior =
+  {
+    Engine.idle_behavior with
+    on_start =
+      (fun ctx ->
+        List.iter
+          (fun stmt ->
+            Pid.Set.iter
+              (fun j -> Engine.send ctx j (Msg.accept self ~slices stmt))
+              (Pid.Set.remove self peers))
+          stmts);
+  }
+
+let nomination_equivocator ~self ~slices ~split ~value_a ~value_b ~peers :
+    Msg.t Engine.behavior =
+  {
+    Engine.idle_behavior with
+    on_start =
+      (fun ctx ->
+        Pid.Set.iter
+          (fun j ->
+            let v = if split j then value_a else value_b in
+            Engine.send ctx j (Msg.vote self ~slices (Statement.Nominate v)))
+          (Pid.Set.remove self peers));
+  }
+
+(* Declares [slices_a] to peers satisfying [split] and [slices_b] to
+   the rest while voting to nominate [value] — slice-level
+   equivocation, possible because declarations are not signed
+   statements about a single global object. Correct receivers pin the
+   first declaration they see. *)
+let slice_equivocator ~self ~slices_a ~slices_b ~split ~value ~peers :
+    Msg.t Engine.behavior =
+  {
+    Engine.idle_behavior with
+    on_start =
+      (fun ctx ->
+        Pid.Set.iter
+          (fun j ->
+            let slices = if split j then slices_a else slices_b in
+            Engine.send ctx j
+              (Msg.vote self ~slices (Statement.Nominate value)))
+          (Pid.Set.remove self peers));
+  }

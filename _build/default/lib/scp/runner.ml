@@ -1,0 +1,131 @@
+open Graphkit
+open Simkit
+
+type fault =
+  | Silent
+  | Accept_forger of Statement.t list
+  | Nomination_equivocator of {
+      split : Pid.t -> bool;
+      value_a : Value.t;
+      value_b : Value.t;
+    }
+  | Slice_equivocator of {
+      split : Pid.t -> bool;
+      slices_a : Fbqs.Slice.t;
+      slices_b : Fbqs.Slice.t;
+      value : Value.t;
+    }
+
+type outcome = {
+  decisions : Node.decision Pid.Map.t;
+  all_decided : bool;
+  agreement : bool;
+  validity : bool;
+  stats : Engine.stats;
+}
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>all_decided=%b agreement=%b validity=%b msgs=%d time=%d@,%a@]"
+    o.all_decided o.agreement o.validity o.stats.messages_sent
+    o.stats.end_time
+    (Pid.Map.pp Node.pp_decision)
+    o.decisions
+
+let run ?(seed = 0) ?(gst = 50) ?(delta = 5) ?(max_time = 200_000)
+    ?(ballot_timeout = 40) ?(nomination = Node.Echo_all) ?delay ~system
+    ~peers_of ~initial_value_of ~fault_of () =
+  let delay =
+    match delay with
+    | Some d -> d
+    | None -> Delay.partial_synchrony ~gst ~delta ~seed
+  in
+  let engine = Engine.create ~pp_msg:Msg.pp ~delay () in
+  let decisions = ref Pid.Map.empty in
+  let on_decide pid d = decisions := Pid.Map.add pid d !decisions in
+  let participants = Fbqs.Quorum.participants system in
+  let correct = ref Pid.Set.empty in
+  Pid.Set.iter
+    (fun i ->
+      match fault_of i with
+      | Some Silent -> Engine.add_node engine i Node.silent
+      | Some (Accept_forger stmts) ->
+          Engine.add_node engine i
+            (Node.accept_forger ~self:i
+               ~slices:(Fbqs.Quorum.slices_of system i)
+               ~peers:(peers_of i) stmts)
+      | Some (Nomination_equivocator { split; value_a; value_b }) ->
+          Engine.add_node engine i
+            (Node.nomination_equivocator ~self:i
+               ~slices:(Fbqs.Quorum.slices_of system i)
+               ~split ~value_a ~value_b ~peers:(peers_of i))
+      | Some (Slice_equivocator { split; slices_a; slices_b; value }) ->
+          Engine.add_node engine i
+            (Node.slice_equivocator ~self:i ~slices_a ~slices_b ~split ~value
+               ~peers:(peers_of i))
+      | None ->
+          correct := Pid.Set.add i !correct;
+          Engine.add_node engine i
+            (Node.behavior
+               {
+                 Node.self = i;
+                 my_slices = Fbqs.Quorum.slices_of system i;
+                 initial_peers = peers_of i;
+                 initial_value = initial_value_of i;
+                 ballot_timeout;
+                 nomination;
+                 on_decide;
+               }))
+    participants;
+  let all_decided () =
+    Pid.Set.for_all (fun i -> Pid.Map.mem i !decisions) !correct
+  in
+  let stats = Engine.run ~max_time ~stop:all_decided engine in
+  let decisions = !decisions in
+  let decided_values =
+    Pid.Map.fold (fun _ (d : Node.decision) acc -> d.value :: acc) decisions []
+  in
+  let agreement =
+    match decided_values with
+    | [] -> true
+    | v :: rest -> List.for_all (Value.equal v) rest
+  in
+  let fault_injected i =
+    match fault_of i with
+    | Some (Nomination_equivocator { value_a; value_b; _ }) ->
+        Value.union value_a value_b
+    | Some (Accept_forger stmts) ->
+        Value.combine
+          (List.map
+             (function
+               | Statement.Prepare b | Statement.Commit b -> b.Ballot.value
+               | Statement.Nominate v -> v)
+             stmts)
+    | Some (Slice_equivocator { value; _ }) -> value
+    | Some Silent | None -> Value.empty
+  in
+  let proposed =
+    (* Validity admits values proposed by any process, including the
+       injections of Byzantine ones. *)
+    Pid.Set.fold
+      (fun i acc ->
+        Value.union (Value.union acc (initial_value_of i)) (fault_injected i))
+      participants Value.empty
+  in
+  let validity =
+    (* Transaction-set semantics: every decided transaction must have
+       been proposed by someone. *)
+    List.for_all
+      (fun v ->
+        List.for_all
+          (fun tx -> List.mem tx (Value.to_list proposed))
+          (Value.to_list v))
+      decided_values
+  in
+  {
+    decisions;
+    all_decided = all_decided ();
+    agreement;
+    validity;
+    stats;
+  }

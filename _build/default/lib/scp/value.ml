@@ -1,0 +1,26 @@
+module S = Set.Make (Int)
+
+type t = S.t
+
+let of_ints = S.of_list
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let union = S.union
+let combine = List.fold_left S.union S.empty
+
+let compare a b =
+  match Int.compare (S.cardinal a) (S.cardinal b) with
+  | 0 -> S.compare a b
+  | c -> c
+
+let equal = S.equal
+
+let pp ppf v =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (S.elements v)
+
+let to_list = S.elements

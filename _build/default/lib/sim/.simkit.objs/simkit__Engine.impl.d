@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Delay Event_queue Format Graphkit Hashtbl List Logs Option Pid

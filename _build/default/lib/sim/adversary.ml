@@ -1,0 +1,19 @@
+open Graphkit
+
+let silent = Engine.idle_behavior
+
+let crash_after t (b : 'm Engine.behavior) : 'm Engine.behavior =
+  {
+    on_start = (fun ctx -> if Engine.now ctx < t then b.on_start ctx);
+    on_message =
+      (fun ctx ~src m -> if Engine.now ctx < t then b.on_message ctx ~src m);
+    on_timer = (fun ctx tag -> if Engine.now ctx < t then b.on_timer ctx tag);
+  }
+
+let drop_messages_from blocked (b : 'm Engine.behavior) : 'm Engine.behavior =
+  {
+    b with
+    on_message =
+      (fun ctx ~src m ->
+        if not (Pid.Set.mem src blocked) then b.on_message ctx ~src m);
+  }

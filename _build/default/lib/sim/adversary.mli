@@ -1,0 +1,20 @@
+(** Byzantine behaviour combinators.
+
+    The adversary is static: the faulty set [F] is fixed before the
+    execution (Section III-A). Faulty processes can behave arbitrarily;
+    this module provides the generic building blocks, and each protocol
+    adds its own protocol-aware malicious variants. *)
+
+open Graphkit
+
+val silent : 'm Engine.behavior
+(** Never sends anything — the failure mode Lemma 2's proof relies on. *)
+
+val crash_after : int -> 'm Engine.behavior -> 'm Engine.behavior
+(** Behaves correctly until the given time, then ignores all events. *)
+
+val drop_messages_from : Pid.Set.t -> 'm Engine.behavior -> 'm Engine.behavior
+(** Pretends not to receive anything from the given processes. Note the
+    engine stamps true sender ids, so impersonation is impossible
+    (authenticated channels); richer equivocation is protocol-specific
+    and lives next to each protocol. *)

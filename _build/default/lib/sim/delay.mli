@@ -1,0 +1,45 @@
+(** Message delay models.
+
+    The system model is partial synchrony (Dwork, Lynch, Stockmeyer): an
+    unknown global stabilization time GST before which the adversary
+    controls message delays, and an (unknown to the protocol) bound
+    [delta] that holds after GST. The simulator makes GST and [delta]
+    explicit so executions are reproducible; protocols never read
+    them. *)
+
+open Graphkit
+
+type t
+
+val synchronous : delta:int -> t
+(** Every message takes between 1 and [delta] ticks, always. *)
+
+val partial_synchrony : gst:int -> delta:int -> seed:int -> t
+(** Before GST the adversary delays each message by a random amount, but
+    never beyond [gst + delta] (the classic DLS guarantee that messages
+    sent before GST arrive by GST + delta). From GST on, delays are
+    uniform in [1, delta]. *)
+
+val targeted :
+  gst:int ->
+  delta:int ->
+  seed:int ->
+  slow:(Pid.t -> Pid.t -> bool) ->
+  t
+(** Like {!partial_synchrony}, but links for which [slow src dst] holds
+    are delayed to the maximum ([gst + delta - now]) before GST — the
+    scheduling power used to drive partitioned quorums into deciding
+    independently (Theorem 2's executions). *)
+
+val random_partition : gst:int -> delta:int -> seed:int -> n:int -> t
+(** A schedule-fuzzing adversary: draws a random bipartition of the ids
+    [0 .. n-1] (by seed) and stalls all cross-partition traffic to the
+    pre-GST deadline, like {!targeted}. Used to hunt for
+    safety violations over many seeds: systems with intertwined quorums
+    must survive every such schedule. *)
+
+val delay_of : t -> now:int -> src:Pid.t -> dst:Pid.t -> int
+(** The delivery delay (at least 1 tick) for a message sent at [now]. *)
+
+val gst : t -> int
+(** The model's GST (0 for {!synchronous}). *)

@@ -1,0 +1,147 @@
+open Graphkit
+
+let src = Logs.Src.create "simkit.engine" ~doc:"Discrete-event engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type 'm event =
+  | Deliver of { src : Pid.t; dst : Pid.t; payload : 'm }
+  | Timer of { owner : Pid.t; tag : string }
+  | Start of Pid.t
+
+type stats = {
+  messages_sent : int;
+  messages_delivered : int;
+  timers_fired : int;
+  end_time : int;
+  sent_by : int Pid.Map.t;
+  sent_by_class : (string * int) list;
+}
+
+type 'm t = {
+  delay : Delay.t;
+  queue : 'm event Event_queue.t;
+  nodes : (Pid.t, 'm behavior) Hashtbl.t;
+  pp_msg : (Format.formatter -> 'm -> unit) option;
+  classify : ('m -> string) option;
+  class_counts : (string, int) Hashtbl.t;
+  mutable clock : int;
+  mutable messages_sent : int;
+  mutable messages_delivered : int;
+  mutable timers_fired : int;
+  mutable sent_by : int Pid.Map.t;
+}
+
+and 'm ctx = { engine : 'm t; owner : Pid.t }
+
+and 'm behavior = {
+  on_start : 'm ctx -> unit;
+  on_message : 'm ctx -> src:Pid.t -> 'm -> unit;
+  on_timer : 'm ctx -> string -> unit;
+}
+
+let idle_behavior =
+  {
+    on_start = (fun _ -> ());
+    on_message = (fun _ ~src:_ _ -> ());
+    on_timer = (fun _ _ -> ());
+  }
+
+let self ctx = ctx.owner
+let now ctx = ctx.engine.clock
+
+let send ctx dst payload =
+  let t = ctx.engine in
+  t.messages_sent <- t.messages_sent + 1;
+  (match t.classify with
+  | Some f ->
+      let c = f payload in
+      Hashtbl.replace t.class_counts c
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.class_counts c))
+  | None -> ());
+  t.sent_by <-
+    Pid.Map.update ctx.owner
+      (fun c -> Some (1 + Option.value ~default:0 c))
+      t.sent_by;
+  let d = Delay.delay_of t.delay ~now:t.clock ~src:ctx.owner ~dst in
+  Event_queue.push t.queue ~time:(t.clock + d)
+    (Deliver { src = ctx.owner; dst; payload })
+
+let set_timer ctx ~delay tag =
+  let t = ctx.engine in
+  Event_queue.push t.queue
+    ~time:(t.clock + max 1 delay)
+    (Timer { owner = ctx.owner; tag })
+
+let create ?pp_msg ?classify ~delay () =
+  {
+    delay;
+    queue = Event_queue.create ();
+    nodes = Hashtbl.create 32;
+    pp_msg;
+    classify;
+    class_counts = Hashtbl.create 8;
+    clock = 0;
+    messages_sent = 0;
+    messages_delivered = 0;
+    timers_fired = 0;
+    sent_by = Pid.Map.empty;
+  }
+
+let add_node t pid behavior = Hashtbl.replace t.nodes pid behavior
+
+let stats_of t =
+  {
+    messages_sent = t.messages_sent;
+    messages_delivered = t.messages_delivered;
+    timers_fired = t.timers_fired;
+    end_time = t.clock;
+    sent_by = t.sent_by;
+    sent_by_class =
+      List.sort compare
+        (Hashtbl.fold (fun c n acc -> (c, n) :: acc) t.class_counts []);
+  }
+
+let now_of t = t.clock
+
+let dispatch t event =
+  match event with
+  | Start pid -> (
+      match Hashtbl.find_opt t.nodes pid with
+      | Some b -> b.on_start { engine = t; owner = pid }
+      | None -> ())
+  | Timer { owner; tag } -> (
+      match Hashtbl.find_opt t.nodes owner with
+      | Some b ->
+          t.timers_fired <- t.timers_fired + 1;
+          b.on_timer { engine = t; owner } tag
+      | None -> ())
+  | Deliver { src = from; dst; payload } -> (
+      match Hashtbl.find_opt t.nodes dst with
+      | Some b ->
+          t.messages_delivered <- t.messages_delivered + 1;
+          (match t.pp_msg with
+          | Some pp ->
+              Log.debug (fun m ->
+                  m "t=%d %d -> %d : %a" t.clock from dst pp payload)
+          | None -> ());
+          b.on_message { engine = t; owner = dst } ~src:from payload
+      | None -> ())
+
+let run ?(max_time = 1_000_000) ?(stop = fun () -> false) t =
+  Hashtbl.iter
+    (fun pid _ -> Event_queue.push t.queue ~time:0 (Start pid))
+    t.nodes;
+  let rec loop () =
+    if stop () then ()
+    else
+      match Event_queue.pop t.queue with
+      | None -> ()
+      | Some (time, _) when time > max_time -> ()
+      | Some (time, event) ->
+          t.clock <- time;
+          dispatch t event;
+          loop ()
+  in
+  loop ();
+  stats_of t

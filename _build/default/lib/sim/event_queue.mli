@@ -1,0 +1,21 @@
+(** A mutable binary min-heap used as the simulator's event queue.
+
+    Entries are ordered by [(time, seq)]: the sequence number is a
+    monotonically increasing tie-breaker assigned at insertion, so
+    executions are fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Inserts an event at the given timestamp. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the earliest event as [(time, event)]. *)
+
+val peek_time : 'a t -> int option

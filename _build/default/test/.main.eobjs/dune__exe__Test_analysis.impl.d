@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Builtin Cup Fbqs Graphkit List Pid Quorum Slice

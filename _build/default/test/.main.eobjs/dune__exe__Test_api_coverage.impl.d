@@ -1,0 +1,1 @@
+test/test_api_coverage.ml: Alcotest Bftcup Condensation Cup Digraph Fbqs Format Graphkit List Pid Printf Scp Simkit Traversal

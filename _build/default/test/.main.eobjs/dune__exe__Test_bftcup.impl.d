@@ -1,0 +1,1 @@
+test/test_bftcup.ml: Alcotest Bftcup Builtin Generators Graphkit List Pid Protocol QCheck QCheck_alcotest Scp

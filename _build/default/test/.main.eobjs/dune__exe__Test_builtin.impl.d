@@ -1,0 +1,1 @@
+test/test_builtin.ml: Alcotest Builtin Connectivity Digraph Generators Graphkit List Pid Printf Properties Scc

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster Fbqs Graphkit Intertwine List Pid Quorum Slice

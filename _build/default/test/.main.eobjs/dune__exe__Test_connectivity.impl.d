@@ -1,0 +1,1 @@
+test/test_connectivity.ml: Alcotest Connectivity Digraph Format Generators Graphkit List Pid Printf QCheck QCheck_alcotest

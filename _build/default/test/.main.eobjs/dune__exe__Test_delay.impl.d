@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Delay Printf Simkit

@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Digraph Graphkit Pid QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Digraph Dot Filename Graphkit Pid String Sys

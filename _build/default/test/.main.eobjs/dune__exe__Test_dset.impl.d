@@ -1,0 +1,1 @@
+test/test_dset.ml: Alcotest Builtin Cup Digraph Dset Fbqs Graphkit List Pid Printf QCheck QCheck_alcotest Quorum Slice

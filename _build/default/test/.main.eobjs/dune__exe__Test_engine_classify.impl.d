@@ -1,0 +1,1 @@
+test/test_engine_classify.ml: Alcotest Delay Engine Simkit

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Event_queue Fun List QCheck QCheck_alcotest Simkit

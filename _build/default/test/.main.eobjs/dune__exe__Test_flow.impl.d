@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Graphkit List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Digraph Format Generators Graphkit List Pid Printf Properties QCheck QCheck_alcotest

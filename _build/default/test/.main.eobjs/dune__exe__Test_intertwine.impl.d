@@ -1,0 +1,1 @@
+test/test_intertwine.ml: Alcotest Fbqs Graphkit Intertwine List Pid Quorum Slice

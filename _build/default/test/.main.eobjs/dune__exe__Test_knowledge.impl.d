@@ -1,0 +1,1 @@
+test/test_knowledge.ml: Alcotest Builtin Cup Digraph Generators Graphkit Hashtbl Knowledge List Msg Pid Printf QCheck QCheck_alcotest Queue

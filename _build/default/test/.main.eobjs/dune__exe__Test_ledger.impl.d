@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest Fbqs Graphkit Ledger List Pid Printf Runner Scp Value

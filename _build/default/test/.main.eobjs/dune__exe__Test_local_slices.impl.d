@@ -1,0 +1,1 @@
+test/test_local_slices.ml: Alcotest Builtin Cup Digraph Fbqs Format Generators Graphkit List Local_slices Participant_detector Pid Printf QCheck QCheck_alcotest

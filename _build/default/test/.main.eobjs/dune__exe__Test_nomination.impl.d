@@ -1,0 +1,1 @@
+test/test_nomination.ml: Alcotest Builtin Cup Fbqs Graphkit List Node Pid Printf QCheck QCheck_alcotest Runner Scp Value

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Builtin Digraph Graphkit Parse Pid QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pbft.ml: Alcotest Bftcup Delay Engine Graphkit List Pbft Pid QCheck QCheck_alcotest Scp Simkit

@@ -1,0 +1,1 @@
+test/test_pid.ml: Alcotest Dump Fmt Graphkit Pid QCheck QCheck_alcotest

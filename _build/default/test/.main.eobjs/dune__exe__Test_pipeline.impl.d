@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Builtin Generators Graphkit Pid Pipeline QCheck QCheck_alcotest Scp Simkit Stellar_cup

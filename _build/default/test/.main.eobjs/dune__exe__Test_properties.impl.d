@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Builtin Digraph Graphkit Pid Printf Properties

@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Fbqs Format Graphkit List Pid Printf QCheck QCheck_alcotest Quorum Slice

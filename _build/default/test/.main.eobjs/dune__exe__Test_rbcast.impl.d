@@ -1,0 +1,1 @@
+test/test_rbcast.ml: Alcotest Builtin Cup Digraph Generators Graphkit Hashtbl List Msg Pid Printf QCheck QCheck_alcotest Queue Rbcast

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Bftcup Cup Digraph Generators Graphkit Pid Printf Scp

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Format List Report Stellar_cup String

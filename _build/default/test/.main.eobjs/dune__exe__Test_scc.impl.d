@@ -1,0 +1,1 @@
+test/test_scc.ml: Alcotest Array Digraph Format Graphkit List Pid QCheck QCheck_alcotest Scc Traversal

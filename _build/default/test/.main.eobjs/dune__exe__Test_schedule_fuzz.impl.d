@@ -1,0 +1,1 @@
+test/test_schedule_fuzz.ml: Alcotest Builtin Cup Fbqs Generators Graphkit List Pid QCheck QCheck_alcotest Runner Scp Simkit Value

@@ -1,0 +1,1 @@
+test/test_scp_run.ml: Alcotest Ballot Builtin Cup Digraph Fbqs Generators Graphkit List Node Pid Printf QCheck QCheck_alcotest Runner Scp Simkit Statement Value

@@ -1,0 +1,1 @@
+test/test_scp_unit.ml: Alcotest Ballot Fbqs Fvoting Graphkit List Scp Statement Value

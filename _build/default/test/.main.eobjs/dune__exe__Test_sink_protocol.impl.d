@@ -1,0 +1,1 @@
+test/test_sink_protocol.ml: Alcotest Builtin Cup Digraph Generators Graphkit Pid Printf QCheck QCheck_alcotest Sink_oracle Sink_protocol

@@ -1,0 +1,1 @@
+test/test_slice.ml: Alcotest Fbqs Format Graphkit List Pid QCheck QCheck_alcotest Slice

@@ -1,0 +1,1 @@
+test/test_slice_builder.ml: Alcotest Builtin Cup Digraph Fbqs Format Generators Graphkit List Pid Printf QCheck QCheck_alcotest Sink_oracle Slice_builder

@@ -1,0 +1,1 @@
+test/test_slice_equivocation.ml: Alcotest Fbqs Graphkit List Pid QCheck QCheck_alcotest Runner Scp Value

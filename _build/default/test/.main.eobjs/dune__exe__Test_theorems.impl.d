@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Builtin Cup Digraph Generators Graphkit List Pid Printf Stellar_cup Theorems

@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Digraph Dump Fmt Graphkit List Pid QCheck QCheck_alcotest Traversal

@@ -1,0 +1,103 @@
+(* The Fig. 1 / Fig. 2 reconstructions, validated against everything the
+   paper's text and captions state about them. *)
+
+open Graphkit
+
+let set = Pid.Set.of_list
+let pid_set = Alcotest.testable Pid.Set.pp Pid.Set.equal
+
+let test_fig1_pd_table () =
+  (* "PD_i shows the information provided by its participant detector":
+     PD_1 = {2,5} per the caption's example, and §III-D fixes the union
+     of each correct process's slices to be exactly Π_i. *)
+  Alcotest.check pid_set "PD_1" (set [ 2; 5 ]) (Digraph.succs Builtin.fig1 1);
+  List.iter
+    (fun (i, slices) ->
+      let union = List.fold_left Pid.Set.union Pid.Set.empty slices in
+      Alcotest.check pid_set
+        (Printf.sprintf "union of S_%d = PD_%d" i i)
+        (Digraph.succs Builtin.fig1 i)
+        union)
+    Builtin.fig1_slices
+
+let test_fig1_sink_is_5678 () =
+  (* "Participants 5, 6, 7, and 8 form the sink component." *)
+  Alcotest.check pid_set "sink" (set [ 5; 6; 7; 8 ])
+    (Properties.sink_of_exn Builtin.fig1);
+  (* the sink is one SCC *)
+  Alcotest.(check bool) "sink strongly connected" true
+    (Scc.is_strongly_connected
+       (Digraph.subgraph Builtin.fig1_sink Builtin.fig1))
+
+let test_fig1_w_and_f () =
+  (* §III-D: "we assume that W = {1,...,7} and F = {8}". *)
+  Alcotest.check pid_set "F" (set [ 8 ]) Builtin.fig1_faulty;
+  Alcotest.(check bool) "8 declares no slices" true
+    (not (List.mem_assoc 8 Builtin.fig1_slices))
+
+let test_fig2_caption_claims () =
+  (* "A knowledge connectivity graph satisfying 3-OSR PD definition.
+     The dashed areas are two quorums, each formed by locally defined
+     slices using PD and f." + proof text: V_sink = {1,2,3,4}, f = 1,
+     2f+1 = 3 correct sink members whatever the faulty process is, and
+     f+1 = 2 disjoint paths between the relevant pairs. *)
+  let g = Builtin.fig2 in
+  Alcotest.(check bool) "3-OSR" true (Properties.is_k_osr g 3);
+  Alcotest.check pid_set "V_sink" (set [ 1; 2; 3; 4 ]) Builtin.fig2_sink;
+  (* whoever is faulty, at least 3 correct sink members remain *)
+  Pid.Set.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "2f+1 correct sink members with F={%d}" v)
+        true
+        (Pid.Set.cardinal (Pid.Set.remove v Builtin.fig2_sink) >= 3))
+    (Digraph.vertices g);
+  (* f+1 node-disjoint paths from any correct non-sink member to any
+     correct sink member, and between correct sink members, for every
+     choice of the single faulty process *)
+  Pid.Set.iter
+    (fun faulty ->
+      let correct = Pid.Set.remove faulty (Digraph.vertices g) in
+      Pid.Set.iter
+        (fun i ->
+          Pid.Set.iter
+            (fun j ->
+              if (not (Pid.equal i j)) && Pid.Set.mem j Builtin.fig2_sink
+              then
+                Alcotest.(check bool)
+                  (Printf.sprintf "F={%d}: %d f-reaches %d" faulty i j)
+                  true
+                  (Connectivity.f_reachable g ~correct 1 i j))
+            correct)
+        correct)
+    (Digraph.vertices g)
+
+let test_fig2_family_matches_fig2 () =
+  (* Builtin.fig2 is fig2_family ~sink_size:4 ~non_sink:3 up to the
+     vertex renaming i -> i+1 (family counts from 0). *)
+  let family = Generators.fig2_family ~sink_size:4 ~non_sink:3 in
+  let renamed =
+    Digraph.fold_edges
+      (fun i j g -> Digraph.add_edge (i + 1) (j + 1) g)
+      family Digraph.empty
+  in
+  (* Not necessarily edge-identical (the family wires non-sink k to
+     sink member k mod 4; fig2 wires 5->1, 6->2, 7->3) — but it is
+     here, by construction. *)
+  Alcotest.(check bool) "same graph" true (Digraph.equal renamed Builtin.fig2)
+
+let suites =
+  [
+    ( "builtin",
+      [
+        Alcotest.test_case "fig1 PD table and slice unions" `Quick
+          test_fig1_pd_table;
+        Alcotest.test_case "fig1 sink = {5,6,7,8}" `Quick
+          test_fig1_sink_is_5678;
+        Alcotest.test_case "fig1 W and F" `Quick test_fig1_w_and_f;
+        Alcotest.test_case "fig2 caption claims" `Quick
+          test_fig2_caption_claims;
+        Alcotest.test_case "fig2 = family(4,3)" `Quick
+          test_fig2_family_matches_fig2;
+      ] );
+  ]

@@ -1,0 +1,82 @@
+open Graphkit
+open Fbqs
+
+let set = Pid.Set.of_list
+let pid_set = Alcotest.testable Pid.Set.pp Pid.Set.equal
+
+let fig1_system =
+  Quorum.system_of_list
+    (List.map
+       (fun (i, slices) -> (i, Slice.explicit slices))
+       Graphkit.Builtin.fig1_slices)
+
+let w = Pid.Set.of_range 1 7
+let mode = Intertwine.Correct_witness w
+
+let test_fig1_clusters () =
+  (* Section III-D: "there are a few consensus clusters, such as
+     C1 = {5,6,7} and C2 = {1,...,7}". *)
+  Alcotest.(check bool) "C1 = {5,6,7}" true
+    (Cluster.is_consensus_cluster fig1_system ~correct:w ~mode (set [ 5; 6; 7 ]));
+  Alcotest.(check bool) "C2 = W" true
+    (Cluster.is_consensus_cluster fig1_system ~correct:w ~mode w)
+
+let test_fig1_maximal_unique () =
+  (* "C2 is the only maximal consensus cluster". *)
+  match Cluster.maximal_clusters fig1_system ~correct:w ~mode () with
+  | [ c ] -> Alcotest.check pid_set "maximal is W" w c
+  | cs -> Alcotest.failf "expected a unique maximal cluster, got %d" (List.length cs)
+
+let test_fig1_grand_cluster () =
+  Alcotest.(check bool) "grand cluster holds" true
+    (Cluster.grand_cluster fig1_system ~correct:w ~mode ())
+
+let test_not_a_cluster_without_availability () =
+  (* {1,2} has no quorum inside it (2 needs 4). *)
+  Alcotest.(check bool) "availability fails" false
+    (Cluster.is_consensus_cluster fig1_system ~correct:w ~mode (set [ 1; 2 ]));
+  Alcotest.(check bool) "quorum_available" false
+    (Cluster.quorum_available fig1_system (set [ 1; 2 ]))
+
+let test_split_system_two_maximal_clusters () =
+  (* Two self-trusting cliques: each is a cluster, neither is maximal
+     over the other, and together they are not intertwined. *)
+  let sys =
+    Quorum.system_of_list
+      [
+        (1, Slice.explicit [ set [ 1; 2 ] ]);
+        (2, Slice.explicit [ set [ 1; 2 ] ]);
+        (3, Slice.explicit [ set [ 3; 4 ] ]);
+        (4, Slice.explicit [ set [ 3; 4 ] ]);
+      ]
+  in
+  let correct = Pid.Set.of_range 1 4 in
+  let mode = Intertwine.Correct_witness correct in
+  let maximal = Cluster.maximal_clusters sys ~correct ~mode () in
+  Alcotest.(check int) "two maximal clusters" 2 (List.length maximal);
+  Alcotest.(check bool) "no grand cluster" false
+    (Cluster.grand_cluster sys ~correct ~mode ())
+
+let test_empty_and_subset_rules () =
+  Alcotest.(check bool) "empty set is no cluster" false
+    (Cluster.is_consensus_cluster fig1_system ~correct:w ~mode Pid.Set.empty);
+  Alcotest.(check bool) "cluster must be within correct" false
+    (Cluster.is_consensus_cluster fig1_system ~correct:(set [ 5; 6 ]) ~mode
+       (set [ 5; 6; 7 ]))
+
+let suites =
+  [
+    ( "cluster",
+      [
+        Alcotest.test_case "fig1 clusters from the paper" `Quick
+          test_fig1_clusters;
+        Alcotest.test_case "fig1 unique maximal cluster" `Quick
+          test_fig1_maximal_unique;
+        Alcotest.test_case "fig1 grand cluster" `Quick test_fig1_grand_cluster;
+        Alcotest.test_case "availability required" `Quick
+          test_not_a_cluster_without_availability;
+        Alcotest.test_case "split system: two maximal clusters" `Quick
+          test_split_system_two_maximal_clusters;
+        Alcotest.test_case "edge rules" `Quick test_empty_and_subset_rules;
+      ] );
+  ]

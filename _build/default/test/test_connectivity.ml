@@ -1,0 +1,134 @@
+open Graphkit
+
+let set = Pid.Set.of_list
+
+let test_complete_graph () =
+  let g = Generators.complete ~n:5 in
+  (* Between any two vertices of K5: the direct edge plus one path
+     through each of the other 3 vertices. *)
+  Alcotest.(check int) "K5 disjoint paths" 4
+    (Connectivity.node_disjoint_paths g 0 3);
+  Alcotest.(check bool) "K5 is 4-strong" true
+    (Connectivity.is_k_strongly_connected g 4);
+  Alcotest.(check bool) "K5 is not 5-strong" false
+    (Connectivity.is_k_strongly_connected g 5);
+  Alcotest.(check int) "K5 connectivity" 4 (Connectivity.vertex_connectivity g)
+
+let test_circulant_connectivity () =
+  List.iter
+    (fun (n, k) ->
+      let g = Generators.circulant ~n ~k in
+      Alcotest.(check int)
+        (Printf.sprintf "circulant n=%d k=%d" n k)
+        k
+        (Connectivity.vertex_connectivity g))
+    [ (5, 1); (6, 2); (7, 3); (8, 2) ]
+
+let test_chain () =
+  let g = Digraph.of_edges [ (1, 2); (2, 3) ] in
+  Alcotest.(check int) "one path" 1 (Connectivity.node_disjoint_paths g 1 3);
+  Alcotest.(check int) "none backwards" 0
+    (Connectivity.node_disjoint_paths g 3 1)
+
+let test_self_and_absent () =
+  let g = Digraph.of_edges [ (1, 2) ] in
+  Alcotest.(check int) "self" 0 (Connectivity.node_disjoint_paths g 1 1);
+  Alcotest.(check int) "absent endpoint" 0
+    (Connectivity.node_disjoint_paths g 1 9)
+
+let test_bottleneck_vertex () =
+  (* Two diamonds joined through a single cut vertex 3. *)
+  let g =
+    Digraph.of_edges
+      [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (3, 5); (4, 6); (5, 6) ]
+  in
+  Alcotest.(check int) "cut vertex limits to 1" 1
+    (Connectivity.node_disjoint_paths g 0 6);
+  Alcotest.(check int) "before the cut" 2
+    (Connectivity.node_disjoint_paths g 0 3)
+
+let test_disjoint_paths_within () =
+  let g =
+    Digraph.of_edges [ (0, 1); (1, 3); (0, 2); (2, 3); (0, 3) ]
+  in
+  Alcotest.(check int) "all allowed" 3
+    (Connectivity.node_disjoint_paths g 0 3);
+  Alcotest.(check int) "vertex 1 excluded" 2
+    (Connectivity.disjoint_paths_within g ~allowed:(set [ 0; 2; 3 ]) 0 3)
+
+let test_f_reachable () =
+  let g =
+    Digraph.of_edges [ (0, 1); (1, 3); (0, 2); (2, 3); (0, 3) ]
+  in
+  let all = set [ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "f=2 with all correct" true
+    (Connectivity.f_reachable g ~correct:all 2 0 3);
+  Alcotest.(check bool) "f=2 fails when 1 is faulty" false
+    (Connectivity.f_reachable g ~correct:(set [ 0; 2; 3 ]) 2 0 3);
+  Alcotest.(check bool) "f=1 survives 1 faulty" true
+    (Connectivity.f_reachable g ~correct:(set [ 0; 2; 3 ]) 1 0 3);
+  Alcotest.(check bool) "endpoint faulty" false
+    (Connectivity.f_reachable g ~correct:(set [ 1; 2; 3 ]) 0 0 3)
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun g -> Format.asprintf "%a" Digraph.pp g)
+    QCheck.Gen.(
+      let* n = int_range 2 7 in
+      let* edges =
+        list_size (int_bound 20) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      in
+      return (Digraph.of_edges (List.filter (fun (u, v) -> u <> v) edges)))
+
+let prop_paths_bounded_by_degrees =
+  QCheck.Test.make ~count:200 ~name:"disjoint paths <= min degree" arb_graph
+    (fun g ->
+      let vs = Pid.Set.elements (Digraph.vertices g) in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              i = j
+              || Connectivity.node_disjoint_paths g i j
+                 <= min
+                      (Pid.Set.cardinal (Digraph.succs g i))
+                      (Pid.Set.cardinal (Digraph.preds g j)))
+            vs)
+        vs)
+
+let prop_adding_edges_monotone =
+  QCheck.Test.make ~count:100 ~name:"adding an edge never lowers path count"
+    QCheck.(pair arb_graph (pair small_nat small_nat))
+    (fun (g, (a, b)) ->
+      let vs = Pid.Set.elements (Digraph.vertices g) in
+      match vs with
+      | x :: y :: _ when x <> y ->
+          let a = List.nth vs (a mod List.length vs) in
+          let b = List.nth vs (b mod List.length vs) in
+          a = b
+          ||
+          let before = Connectivity.node_disjoint_paths g x y in
+          let after =
+            Connectivity.node_disjoint_paths (Digraph.add_edge a b g) x y
+          in
+          after >= before
+      | _ -> true)
+
+let suites =
+  [
+    ( "connectivity",
+      [
+        Alcotest.test_case "complete graph" `Quick test_complete_graph;
+        Alcotest.test_case "circulant connectivity" `Quick
+          test_circulant_connectivity;
+        Alcotest.test_case "chain" `Quick test_chain;
+        Alcotest.test_case "self and absent vertices" `Quick
+          test_self_and_absent;
+        Alcotest.test_case "cut vertex" `Quick test_bottleneck_vertex;
+        Alcotest.test_case "restricted to allowed set" `Quick
+          test_disjoint_paths_within;
+        Alcotest.test_case "f-reachability" `Quick test_f_reachable;
+        QCheck_alcotest.to_alcotest prop_paths_bounded_by_degrees;
+        QCheck_alcotest.to_alcotest prop_adding_edges_monotone;
+      ] );
+  ]

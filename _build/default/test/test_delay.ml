@@ -1,0 +1,59 @@
+open Simkit
+
+let test_synchronous_bounds () =
+  let d = Delay.synchronous ~delta:4 in
+  for now = 0 to 50 do
+    let delay = Delay.delay_of d ~now ~src:1 ~dst:2 in
+    Alcotest.(check bool) "within [1, delta]" true (delay >= 1 && delay <= 4)
+  done;
+  Alcotest.(check int) "gst is 0" 0 (Delay.gst d)
+
+let test_partial_synchrony_deadline () =
+  let gst = 100 and delta = 7 in
+  let d = Delay.partial_synchrony ~gst ~delta ~seed:5 in
+  for now = 0 to 200 do
+    let delay = Delay.delay_of d ~now ~src:1 ~dst:2 in
+    Alcotest.(check bool) "positive" true (delay >= 1);
+    if now < gst then
+      Alcotest.(check bool)
+        (Printf.sprintf "pre-GST message at %d lands by gst+delta" now)
+        true
+        (now + delay <= gst + delta || delay = 1)
+    else
+      Alcotest.(check bool) "post-GST bounded by delta" true (delay <= delta)
+  done
+
+let test_targeted_slows_selected_links () =
+  let gst = 100 and delta = 5 in
+  let d =
+    Delay.targeted ~gst ~delta ~seed:1 ~slow:(fun a b -> a = 1 && b = 2)
+  in
+  (* the targeted link takes the maximal legal delay before GST *)
+  let slow_delay = Delay.delay_of d ~now:10 ~src:1 ~dst:2 in
+  Alcotest.(check int) "slow link rides the deadline" (gst + delta - 10)
+    slow_delay;
+  (* other links behave normally *)
+  let normal = Delay.delay_of d ~now:10 ~src:2 ~dst:1 in
+  Alcotest.(check bool) "other links fast" true (normal <= delta);
+  (* after GST even the targeted link is bounded *)
+  let post = Delay.delay_of d ~now:150 ~src:1 ~dst:2 in
+  Alcotest.(check bool) "post-GST bound applies to targeted link" true
+    (post <= delta)
+
+let test_delta_floor () =
+  let d = Delay.synchronous ~delta:0 in
+  Alcotest.(check int) "delta floored to 1" 1
+    (Delay.delay_of d ~now:0 ~src:1 ~dst:2)
+
+let suites =
+  [
+    ( "delay",
+      [
+        Alcotest.test_case "synchronous bounds" `Quick test_synchronous_bounds;
+        Alcotest.test_case "partial synchrony deadline" `Quick
+          test_partial_synchrony_deadline;
+        Alcotest.test_case "targeted adversary" `Quick
+          test_targeted_slows_selected_links;
+        Alcotest.test_case "delta floor" `Quick test_delta_floor;
+      ] );
+  ]

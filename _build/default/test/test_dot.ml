@@ -1,0 +1,51 @@
+open Graphkit
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let test_edges_rendered () =
+  let g = Digraph.of_edges [ (1, 2); (2, 3) ] in
+  let s = Dot.to_dot g in
+  Alcotest.(check bool) "digraph header" true (contains s "digraph knowledge");
+  Alcotest.(check bool) "edge 1->2" true (contains s "1 -> 2;");
+  Alcotest.(check bool) "edge 2->3" true (contains s "2 -> 3;");
+  Alcotest.(check bool) "closing brace" true (contains s "}")
+
+let test_highlight_and_faulty () =
+  let g = Digraph.of_edges [ (1, 2) ] in
+  let s =
+    Dot.to_dot
+      ~highlight:(Pid.Set.singleton 1)
+      ~faulty:(Pid.Set.singleton 2)
+      ~name:"g2" g
+  in
+  Alcotest.(check bool) "custom name" true (contains s "digraph g2");
+  Alcotest.(check bool) "sink doubled" true (contains s "peripheries=2");
+  Alcotest.(check bool) "faulty filled" true (contains s "fillcolor=gray")
+
+let test_to_file () =
+  let path = Filename.temp_file "stellar_cup" ".dot" in
+  Dot.to_file path (Digraph.of_edges [ (7, 8) ]);
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file contents" true (contains s "7 -> 8;")
+
+let suites =
+  [
+    ( "dot",
+      [
+        Alcotest.test_case "edges rendered" `Quick test_edges_rendered;
+        Alcotest.test_case "highlight and faulty attrs" `Quick
+          test_highlight_and_faulty;
+        Alcotest.test_case "to_file" `Quick test_to_file;
+      ] );
+  ]

@@ -1,0 +1,55 @@
+open Simkit
+
+type msg = Ping | Pong
+
+let test_class_accounting () =
+  let delay = Delay.synchronous ~delta:1 in
+  let classify = function Ping -> "ping" | Pong -> "pong" in
+  let engine = Engine.create ~classify ~delay () in
+  let pinger : msg Engine.behavior =
+    {
+      Engine.idle_behavior with
+      on_start =
+        (fun ctx ->
+          for _ = 1 to 3 do
+            Engine.send ctx 2 Ping
+          done);
+    }
+  in
+  let ponger : msg Engine.behavior =
+    {
+      Engine.idle_behavior with
+      on_message =
+        (fun ctx ~src -> function
+          | Ping -> Engine.send ctx src Pong
+          | Pong -> ());
+    }
+  in
+  Engine.add_node engine 1 pinger;
+  Engine.add_node engine 2 ponger;
+  let stats = Engine.run engine in
+  Alcotest.(check (list (pair string int)))
+    "per-class counts"
+    [ ("ping", 3); ("pong", 3) ]
+    stats.sent_by_class
+
+let test_no_classifier () =
+  let delay = Delay.synchronous ~delta:1 in
+  let engine = Engine.create ~delay () in
+  Engine.add_node engine 1
+    {
+      Engine.idle_behavior with
+      on_start = (fun ctx -> Engine.send ctx 1 Ping);
+    };
+  let stats = Engine.run engine in
+  Alcotest.(check (list (pair string int))) "empty without classifier" []
+    stats.sent_by_class
+
+let suites =
+  [
+    ( "engine_classify",
+      [
+        Alcotest.test_case "per-class accounting" `Quick test_class_accounting;
+        Alcotest.test_case "no classifier" `Quick test_no_classifier;
+      ] );
+  ]

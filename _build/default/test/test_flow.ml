@@ -1,0 +1,81 @@
+let test_single_edge () =
+  let net = Graphkit.Flow.create ~n:2 ~source:0 ~sink:1 in
+  Graphkit.Flow.add_edge net 0 1 5;
+  Alcotest.(check int) "flow" 5 (Graphkit.Flow.max_flow net)
+
+let test_series () =
+  let net = Graphkit.Flow.create ~n:3 ~source:0 ~sink:2 in
+  Graphkit.Flow.add_edge net 0 1 5;
+  Graphkit.Flow.add_edge net 1 2 3;
+  Alcotest.(check int) "bottleneck" 3 (Graphkit.Flow.max_flow net)
+
+let test_parallel_paths () =
+  let net = Graphkit.Flow.create ~n:4 ~source:0 ~sink:3 in
+  Graphkit.Flow.add_edge net 0 1 1;
+  Graphkit.Flow.add_edge net 1 3 1;
+  Graphkit.Flow.add_edge net 0 2 1;
+  Graphkit.Flow.add_edge net 2 3 1;
+  Alcotest.(check int) "two disjoint unit paths" 2 (Graphkit.Flow.max_flow net)
+
+let test_needs_augmentation () =
+  (* The classic example where a greedy path choice must be undone via
+     the residual edge. *)
+  let net = Graphkit.Flow.create ~n:4 ~source:0 ~sink:3 in
+  Graphkit.Flow.add_edge net 0 1 1;
+  Graphkit.Flow.add_edge net 0 2 1;
+  Graphkit.Flow.add_edge net 1 2 1;
+  Graphkit.Flow.add_edge net 1 3 1;
+  Graphkit.Flow.add_edge net 2 3 1;
+  Alcotest.(check int) "flow 2" 2 (Graphkit.Flow.max_flow net)
+
+let test_disconnected () =
+  let net = Graphkit.Flow.create ~n:4 ~source:0 ~sink:3 in
+  Graphkit.Flow.add_edge net 0 1 7;
+  Graphkit.Flow.add_edge net 2 3 7;
+  Alcotest.(check int) "no path" 0 (Graphkit.Flow.max_flow net)
+
+let test_min_cut_side () =
+  let net = Graphkit.Flow.create ~n:3 ~source:0 ~sink:2 in
+  Graphkit.Flow.add_edge net 0 1 10;
+  Graphkit.Flow.add_edge net 1 2 1;
+  ignore (Graphkit.Flow.max_flow net);
+  let side = Graphkit.Flow.min_cut_side net in
+  Alcotest.(check bool) "source side" true side.(0);
+  Alcotest.(check bool) "node before bottleneck" true side.(1);
+  Alcotest.(check bool) "sink side" false side.(2)
+
+(* Property: max flow on a random unit-capacity DAG equals the number of
+   edge-disjoint paths found by greedy path removal (a valid certificate
+   lower bound) and is bounded by the out-degree of the source. *)
+let prop_bounded_by_degrees =
+  QCheck.Test.make ~count:200 ~name:"flow bounded by source/sink degree"
+    QCheck.(pair (int_range 2 7) (list_of_size (QCheck.Gen.int_bound 15) (pair (int_bound 6) (int_bound 6))))
+    (fun (n, edges) ->
+      let edges =
+        List.filter (fun (u, v) -> u < n && v < n && u <> v) edges
+      in
+      let net = Graphkit.Flow.create ~n ~source:0 ~sink:(n - 1) in
+      List.iter (fun (u, v) -> Graphkit.Flow.add_edge net u v 1) edges;
+      let out_deg =
+        List.length (List.filter (fun (u, _) -> u = 0) edges)
+      in
+      let in_deg =
+        List.length (List.filter (fun (_, v) -> v = n - 1) edges)
+      in
+      let flow = Graphkit.Flow.max_flow net in
+      flow <= out_deg && flow <= in_deg && flow >= 0)
+
+let suites =
+  [
+    ( "flow",
+      [
+        Alcotest.test_case "single edge" `Quick test_single_edge;
+        Alcotest.test_case "series bottleneck" `Quick test_series;
+        Alcotest.test_case "parallel paths" `Quick test_parallel_paths;
+        Alcotest.test_case "needs residual augmentation" `Quick
+          test_needs_augmentation;
+        Alcotest.test_case "disconnected" `Quick test_disconnected;
+        Alcotest.test_case "min cut side" `Quick test_min_cut_side;
+        QCheck_alcotest.to_alcotest prop_bounded_by_degrees;
+      ] );
+  ]

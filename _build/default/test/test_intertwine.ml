@@ -1,0 +1,100 @@
+open Graphkit
+open Fbqs
+
+let set = Pid.Set.of_list
+
+let fig1_system =
+  Quorum.system_of_list
+    (List.map
+       (fun (i, slices) -> (i, Slice.explicit slices))
+       Graphkit.Builtin.fig1_slices)
+
+let w = Pid.Set.of_range 1 7
+
+let test_fig1_intertwined () =
+  (* Section III-D: "every two correct processes are intertwined". *)
+  Alcotest.(check bool) "W intertwined (correct witness)" true
+    (Intertwine.set_intertwined fig1_system (Correct_witness w) w)
+
+let test_fig1_pairs () =
+  Alcotest.(check bool) "1 and 3" true
+    (Intertwine.pair_intertwined fig1_system (Correct_witness w) 1 3);
+  Alcotest.(check bool) "5 and 7" true
+    (Intertwine.pair_intertwined fig1_system (Correct_witness w) 5 7)
+
+let test_disjoint_quorums_detected () =
+  (* Two independent 2-cliques trusting only themselves. *)
+  let sys =
+    Quorum.system_of_list
+      [
+        (1, Slice.explicit [ set [ 2 ] ]);
+        (2, Slice.explicit [ set [ 1 ] ]);
+        (3, Slice.explicit [ set [ 4 ] ]);
+        (4, Slice.explicit [ set [ 3 ] ]);
+      ]
+  in
+  let all = Pid.Set.of_range 1 4 in
+  Alcotest.(check bool) "not intertwined" false
+    (Intertwine.set_intertwined sys (Correct_witness all) all);
+  match Intertwine.violating_pair sys (Correct_witness all) all with
+  | Some (i, qi, j, qj) ->
+      Alcotest.(check bool) "witness quorums disjoint" true
+        (Pid.Set.is_empty (Pid.Set.inter qi qj));
+      Alcotest.(check bool) "witness processes differ" true (i <> j)
+  | None -> Alcotest.fail "expected a violation witness"
+
+let test_threshold_mode () =
+  (* 3-of-4 quorums pairwise intersect in >= 2 members: intertwined for
+     f = 1 but not for f = 2. *)
+  let members = Pid.Set.of_range 1 4 in
+  let sys =
+    Quorum.system_of_list
+      (List.map
+         (fun i -> (i, Slice.threshold ~members ~threshold:3))
+         (Pid.Set.elements members))
+  in
+  Alcotest.(check bool) "f=1 ok" true
+    (Intertwine.set_intertwined sys (Threshold 1) members);
+  Alcotest.(check bool) "f=2 fails" false
+    (Intertwine.set_intertwined sys (Threshold 2) members)
+
+let test_reflexive_violation () =
+  (* Two quorums of the same process always share that process, so the
+     correct-witness mode can never fail reflexively for a correct
+     process — but the threshold mode can: {1,2} and {1,3} meet in only
+     one process, which is not > f = 1. *)
+  let sys =
+    Quorum.system_of_list
+      [
+        (1, Slice.explicit [ set [ 2 ]; set [ 3 ] ]);
+        (2, Slice.explicit [ set [ 2 ] ]);
+        (3, Slice.explicit [ set [ 3 ] ]);
+      ]
+  in
+  Alcotest.(check bool) "correct-witness mode is fine reflexively" true
+    (Intertwine.pair_intertwined sys
+       (Correct_witness (Pid.Set.of_range 1 3))
+       1 1);
+  Alcotest.(check bool) "threshold mode catches the thin overlap" false
+    (Intertwine.pair_intertwined sys (Threshold 1) 1 1)
+
+let test_threshold_pair_ok () =
+  Alcotest.(check bool) "intersection of 2 > f=1" true
+    (Intertwine.threshold_pair_ok ~f:1 (set [ 1; 2; 3 ]) (set [ 2; 3; 4 ]));
+  Alcotest.(check bool) "intersection of 1 not > f=1" false
+    (Intertwine.threshold_pair_ok ~f:1 (set [ 1; 2 ]) (set [ 2; 3 ]))
+
+let suites =
+  [
+    ( "intertwine",
+      [
+        Alcotest.test_case "fig1 W intertwined" `Quick test_fig1_intertwined;
+        Alcotest.test_case "fig1 pairs" `Quick test_fig1_pairs;
+        Alcotest.test_case "disjoint quorums detected" `Quick
+          test_disjoint_quorums_detected;
+        Alcotest.test_case "threshold mode" `Quick test_threshold_mode;
+        Alcotest.test_case "reflexive violation" `Quick
+          test_reflexive_violation;
+        Alcotest.test_case "threshold_pair_ok" `Quick test_threshold_pair_ok;
+      ] );
+  ]

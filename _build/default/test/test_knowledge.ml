@@ -1,0 +1,163 @@
+open Graphkit
+open Cup
+
+(* Drive Knowledge state machines by hand over an in-memory "network"
+   that synchronously forwards every sent message, so the fixpoint logic
+   is tested independently of the simulator. *)
+
+type net = {
+  machines : (Pid.t, Knowledge.t) Hashtbl.t;
+  queue : (Pid.t * Pid.t * Msg.t) Queue.t;  (* src, dst, message *)
+}
+
+let make_net graph ~f pids =
+  let net = { machines = Hashtbl.create 8; queue = Queue.create () } in
+  List.iter
+    (fun i ->
+      Hashtbl.replace net.machines i
+        (Knowledge.create ~self:i ~pd:(Digraph.succs graph i) ~f))
+    pids;
+  net
+
+let sender net src dst m = Queue.add (src, dst, m) net.queue
+
+let drain net =
+  while not (Queue.is_empty net.queue) do
+    let src, dst, m = Queue.pop net.queue in
+    match Hashtbl.find_opt net.machines dst with
+    | None -> () (* silent / faulty destination *)
+    | Some k -> (
+        let send = sender net dst in
+        match m with
+        | Msg.Know_request -> Knowledge.on_know_request k ~send ~src
+        | Msg.Know view -> Knowledge.on_know k ~send ~src view
+        | Msg.Get_sink _ | Msg.Sink_reply _ -> ())
+  done
+
+let start_all net =
+  Hashtbl.iter
+    (fun i k -> Knowledge.start k ~send:(sender net i))
+    net.machines;
+  drain net
+
+let machine net i = Hashtbl.find net.machines i
+
+let test_sink_members_converge_fig1 () =
+  let pids = Pid.Set.elements (Digraph.vertices Builtin.fig1) in
+  let net = make_net Builtin.fig1 ~f:1 pids in
+  start_all net;
+  (* Every sink member of fig1 discovers exactly V_sink and declares. *)
+  Pid.Set.iter
+    (fun i ->
+      match Knowledge.sink_result (machine net i) with
+      | Some v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%d returns V_sink" i)
+            true
+            (Pid.Set.equal v Builtin.fig1_sink)
+      | None -> Alcotest.failf "sink member %d did not terminate" i)
+    Builtin.fig1_sink
+
+let test_non_sink_members_never_declare () =
+  let pids = Pid.Set.elements (Digraph.vertices Builtin.fig1) in
+  let net = make_net Builtin.fig1 ~f:1 pids in
+  start_all net;
+  Pid.Set.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "non-sink %d undeclared" i)
+        true
+        (Knowledge.sink_result (machine net i) = None))
+    (Pid.Set.diff (Digraph.vertices Builtin.fig1) Builtin.fig1_sink)
+
+let test_non_sink_vouching_is_conservative () =
+  let pids = Pid.Set.elements (Digraph.vertices Builtin.fig1) in
+  let net = make_net Builtin.fig1 ~f:1 pids in
+  start_all net;
+  (* With f = 1 the voucher rule admits an id only on 2 distinct
+     first-or-second-hand claims. In fig1, process 4 is claimed only by
+     process 2, so process 1's knowledge deliberately stalls at
+     {1,2,5}: under-approximating is what keeps the termination test
+     safe against fabricated ids. Process 1 learns the sink through
+     GET_SINK replies instead (Algorithm 3). *)
+  Alcotest.(check bool) "1's vouched knowledge" true
+    (Pid.Set.equal
+       (Knowledge.known (machine net 1))
+       (Pid.Set.of_list [ 1; 2; 5 ]))
+
+let test_silent_faulty_sink_member () =
+  (* Fig. 2 sink {1,2,3,4} is a complete digraph (k = 3 >= f+1 = 2
+     correct vouchers for everyone): with 4 silent, the correct sink
+     members still converge to the full sink and terminate. *)
+  let pids = [ 1; 2; 3; 5; 6; 7 ] (* 4 is silent: no machine *) in
+  let net = make_net Builtin.fig2 ~f:1 pids in
+  start_all net;
+  List.iter
+    (fun i ->
+      match Knowledge.sink_result (machine net i) with
+      | Some v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%d converges to full sink despite silence" i)
+            true
+            (Pid.Set.equal v Builtin.fig2_sink)
+      | None -> Alcotest.failf "sink member %d did not terminate" i)
+    [ 1; 2; 3 ]
+
+let test_fabricated_ids_filtered () =
+  (* A liar claims a fantasy id 99; fewer than f+1 vouchers means no
+     correct machine ever admits it. *)
+  let pids = Pid.Set.elements (Digraph.vertices Builtin.fig2) in
+  let net = make_net Builtin.fig2 ~f:1 pids in
+  (* Seed the lie: 4 claims {99} along with a real view. *)
+  start_all net;
+  let lie = Pid.Set.add 99 Builtin.fig2_sink in
+  Hashtbl.iter
+    (fun i k ->
+      if i <> 4 then
+        Knowledge.on_know k ~send:(sender net i) ~src:4 lie)
+    net.machines;
+  drain net;
+  Hashtbl.iter
+    (fun i k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "99 not known by %d" i)
+        false
+        (Pid.Set.mem 99 (Knowledge.known k)))
+    net.machines
+
+let prop_sink_detection_on_random_graphs =
+  QCheck.Test.make ~count:25
+    ~name:"SINK terminates exactly at sink members (fault-free)"
+    QCheck.(pair (int_bound 500) (int_range 1 2))
+    (fun (seed, f) ->
+      let sink_size = (3 * f) + 2 in
+      let g, sink =
+        Generators.random_byzantine_safe ~seed ~f ~sink_size ~non_sink:4 ()
+      in
+      let pids = Pid.Set.elements (Digraph.vertices g) in
+      let net = make_net g ~f pids in
+      start_all net;
+      List.for_all
+        (fun i ->
+          match Knowledge.sink_result (machine net i) with
+          | Some v -> Pid.Set.mem i sink && Pid.Set.equal v sink
+          | None -> not (Pid.Set.mem i sink))
+        pids)
+
+let suites =
+  [
+    ( "knowledge",
+      [
+        Alcotest.test_case "fig1 sink members converge" `Quick
+          test_sink_members_converge_fig1;
+        Alcotest.test_case "non-sink members never declare" `Quick
+          test_non_sink_members_never_declare;
+        Alcotest.test_case "non-sink vouching is conservative" `Quick
+          test_non_sink_vouching_is_conservative;
+        Alcotest.test_case "silent faulty sink member tolerated" `Quick
+          test_silent_faulty_sink_member;
+        Alcotest.test_case "fabricated ids filtered" `Quick
+          test_fabricated_ids_filtered;
+        QCheck_alcotest.to_alcotest prop_sink_detection_on_random_graphs;
+      ] );
+  ]

@@ -1,0 +1,104 @@
+open Graphkit
+open Scp
+
+let threshold_system n t =
+  let members = Pid.Set.of_range 1 n in
+  Fbqs.Quorum.system_of_list
+    (List.map
+       (fun i -> (i, Fbqs.Slice.threshold ~members ~threshold:t))
+       (Pid.Set.elements members))
+
+let tx_pool slot node = Value.of_ints [ (slot * 100) + node ]
+
+let test_three_slots_fault_free () =
+  let r =
+    Ledger.run ~slots:3
+      ~system:(threshold_system 4 3)
+      ~peers_of:(fun _ -> Pid.Set.of_range 1 4)
+      ~tx_pool
+      ~fault_of:(fun _ -> None)
+      ()
+  in
+  Alcotest.(check bool) "consistent" true r.consistent;
+  Alcotest.(check bool) "complete" true r.complete;
+  Pid.Map.iter
+    (fun pid entries ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d closed 3 slots" pid)
+        3 (List.length entries);
+      List.iteri
+        (fun i (e : Ledger.entry) ->
+          Alcotest.(check int) "slots in order" i e.slot)
+        entries)
+    r.ledgers
+
+let test_slots_isolated () =
+  (* Transactions proposed for slot k never leak into slot k'. *)
+  let r =
+    Ledger.run ~slots:2
+      ~system:(threshold_system 4 3)
+      ~peers_of:(fun _ -> Pid.Set.of_range 1 4)
+      ~tx_pool
+      ~fault_of:(fun _ -> None)
+      ()
+  in
+  Pid.Map.iter
+    (fun _ entries ->
+      List.iter
+        (fun (e : Ledger.entry) ->
+          List.iter
+            (fun tx ->
+              Alcotest.(check int) "tx belongs to its slot" e.slot (tx / 100))
+            (Value.to_list e.value))
+        entries)
+    r.ledgers
+
+let test_with_silent_fault () =
+  let r =
+    Ledger.run ~slots:3
+      ~system:(threshold_system 4 3)
+      ~peers_of:(fun _ -> Pid.Set.of_range 1 4)
+      ~tx_pool
+      ~fault_of:(fun i -> if i = 2 then Some Runner.Silent else None)
+      ()
+  in
+  Alcotest.(check bool) "consistent despite fault" true r.consistent;
+  Alcotest.(check bool) "complete despite fault" true r.complete;
+  Alcotest.(check int) "three ledgers" 3 (Pid.Map.cardinal r.ledgers)
+
+let test_cross_replica_equality () =
+  let r =
+    Ledger.run ~slots:4
+      ~system:(threshold_system 5 4)
+      ~peers_of:(fun _ -> Pid.Set.of_range 1 5)
+      ~tx_pool
+      ~fault_of:(fun _ -> None)
+      ()
+  in
+  match Pid.Map.bindings r.ledgers with
+  | [] -> Alcotest.fail "no ledgers"
+  | (_, reference) :: rest ->
+      List.iter
+        (fun (pid, entries) ->
+          List.iter2
+            (fun (a : Ledger.entry) (b : Ledger.entry) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "node %d slot %d equal" pid a.slot)
+                true
+                (Value.equal a.value b.value))
+            reference entries)
+        rest
+
+let suites =
+  [
+    ( "ledger",
+      [
+        Alcotest.test_case "three slots fault-free" `Quick
+          test_three_slots_fault_free;
+        Alcotest.test_case "slots isolated" `Quick test_slots_isolated;
+        Alcotest.test_case "silent fault across slots" `Quick
+          test_with_silent_fault;
+        Alcotest.test_case "cross-replica equality" `Quick
+          test_cross_replica_equality;
+      ] );
+  ]

@@ -1,0 +1,42 @@
+open Graphkit
+
+let test_fig1_metrics () =
+  let m = Metrics.compute Builtin.fig1 in
+  Alcotest.(check int) "vertices" 8 m.vertices;
+  Alcotest.(check int) "edges" 18 m.edges;
+  Alcotest.(check int) "min out-degree" 1 m.min_out_degree;
+  Alcotest.(check int) "max out-degree" 3 m.max_out_degree;
+  Alcotest.(check (option int)) "sink size" (Some 4) m.sink_size;
+  Alcotest.(check int) "sccs: 4 singletons + sink" 5 m.scc_count
+
+let test_complete_graph_metrics () =
+  let m = Metrics.compute (Generators.complete ~n:5) in
+  Alcotest.(check int) "edges" 20 m.edges;
+  Alcotest.(check (float 0.001)) "density 1.0" 1.0 m.density;
+  Alcotest.(check (option int)) "diameter 1" (Some 1) m.diameter;
+  Alcotest.(check int) "one scc" 1 m.scc_count
+
+let test_chain_metrics () =
+  let m = Metrics.compute (Digraph.of_edges [ (1, 2); (2, 3); (3, 4) ]) in
+  Alcotest.(check (option int)) "diameter 3" (Some 3) m.diameter;
+  Alcotest.(check int) "min out-degree 0 (tail)" 0 m.min_out_degree;
+  Alcotest.(check (option int)) "sink is {4}" (Some 1) m.sink_size
+
+let test_degenerate () =
+  let m = Metrics.compute Digraph.empty in
+  Alcotest.(check int) "no vertices" 0 m.vertices;
+  Alcotest.(check (option int)) "no diameter" None m.diameter;
+  let m1 = Metrics.compute (Digraph.add_vertex 1 Digraph.empty) in
+  Alcotest.(check int) "one vertex" 1 m1.vertices;
+  Alcotest.(check (option int)) "single vertex sink" (Some 1) m1.sink_size
+
+let suites =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "fig1" `Quick test_fig1_metrics;
+        Alcotest.test_case "complete graph" `Quick test_complete_graph_metrics;
+        Alcotest.test_case "chain" `Quick test_chain_metrics;
+        Alcotest.test_case "degenerate graphs" `Quick test_degenerate;
+      ] );
+  ]

@@ -1,0 +1,60 @@
+open Graphkit
+
+let pid_set = Alcotest.testable Pid.Set.pp Pid.Set.equal
+
+let test_roundtrip_fig1 () =
+  match Parse.of_string (Parse.to_string Builtin.fig1) with
+  | Ok g ->
+      Alcotest.(check bool) "roundtrip identity" true
+        (Digraph.equal g Builtin.fig1)
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_comments_and_blanks () =
+  let text = "# a knowledge graph\n\n1: 2 5 # inline comment\n2: 4\n\n8:\n" in
+  match Parse.of_string text with
+  | Ok g ->
+      Alcotest.check pid_set "succs of 1" (Pid.Set.of_list [ 2; 5 ])
+        (Digraph.succs g 1);
+      Alcotest.(check bool) "isolated 8 present" true (Digraph.mem_vertex 8 g);
+      Alcotest.check pid_set "8 has no succs" Pid.Set.empty (Digraph.succs g 8)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_errors_name_the_line () =
+  (match Parse.of_string "1: 2\nnonsense\n" with
+  | Error e ->
+      Alcotest.(check bool) "line number in error" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match Parse.of_string "1: 2 x\n" with
+  | Error e ->
+      Alcotest.(check bool) "bad successor flagged" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected bad successor error"
+
+let test_of_file_missing () =
+  match Parse.of_file "/nonexistent/graph.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~count:100 ~name:"parse roundtrip on random graphs"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 20) (pair (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let g = Digraph.of_edges edges in
+      match Parse.of_string (Parse.to_string g) with
+      | Ok g' -> Digraph.equal g g'
+      | Error _ -> false)
+
+let suites =
+  [
+    ( "parse",
+      [
+        Alcotest.test_case "fig1 roundtrip" `Quick test_roundtrip_fig1;
+        Alcotest.test_case "comments and blanks" `Quick
+          test_comments_and_blanks;
+        Alcotest.test_case "errors name the line" `Quick
+          test_errors_name_the_line;
+        Alcotest.test_case "missing file" `Quick test_of_file_missing;
+        QCheck_alcotest.to_alcotest prop_roundtrip_random;
+      ] );
+  ]

@@ -1,0 +1,45 @@
+open Graphkit
+
+let set = Pid.Set.of_list
+
+let pid_set = Alcotest.testable Pid.Set.pp Pid.Set.equal
+
+let test_of_range () =
+  Alcotest.check pid_set "1..4" (set [ 1; 2; 3; 4 ]) (Pid.Set.of_range 1 4);
+  Alcotest.check pid_set "singleton" (set [ 7 ]) (Pid.Set.of_range 7 7);
+  Alcotest.check pid_set "empty when hi < lo" Pid.Set.empty
+    (Pid.Set.of_range 5 4)
+
+let test_choose_distinct () =
+  (match Pid.Set.choose_distinct 2 (set [ 3; 1; 2 ]) with
+  | Some [ 1; 2 ] -> ()
+  | Some other ->
+      Alcotest.failf "unexpected choice %a" Fmt.(Dump.list int) other
+  | None -> Alcotest.fail "expected a choice");
+  Alcotest.(check bool)
+    "too few elements" true
+    (Pid.Set.choose_distinct 4 (set [ 1; 2 ]) = None);
+  Alcotest.(check bool)
+    "zero elements always works" true
+    (Pid.Set.choose_distinct 0 Pid.Set.empty = Some [])
+
+let test_map_keys () =
+  let m = Pid.Map.(add 1 "a" (add 9 "b" empty)) in
+  Alcotest.check pid_set "keys" (set [ 1; 9 ]) (Pid.Map.keys m)
+
+let prop_of_range_cardinal =
+  QCheck.Test.make ~count:100 ~name:"of_range cardinality"
+    QCheck.(pair (int_bound 50) (int_bound 50))
+    (fun (lo, len) ->
+      Pid.Set.cardinal (Pid.Set.of_range lo (lo + len)) = len + 1)
+
+let suites =
+  [
+    ( "pid",
+      [
+        Alcotest.test_case "of_range" `Quick test_of_range;
+        Alcotest.test_case "choose_distinct" `Quick test_choose_distinct;
+        Alcotest.test_case "map keys" `Quick test_map_keys;
+        QCheck_alcotest.to_alcotest prop_of_range_cardinal;
+      ] );
+  ]

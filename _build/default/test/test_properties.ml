@@ -1,0 +1,96 @@
+open Graphkit
+
+let set = Pid.Set.of_list
+let pid_set = Alcotest.testable Pid.Set.pp Pid.Set.equal
+
+let test_fig1_structure () =
+  (* Fig. 1: participants 5-8 form the sink component. *)
+  Alcotest.check pid_set "fig1 sink" Builtin.fig1_sink
+    (Properties.sink_of_exn Builtin.fig1);
+  Alcotest.(check bool) "fig1 is 1-OSR" true (Properties.is_k_osr Builtin.fig1 1)
+
+let test_fig2_structure () =
+  Alcotest.check pid_set "fig2 sink" Builtin.fig2_sink
+    (Properties.sink_of_exn Builtin.fig2);
+  (* The paper: "This graph represents a 3-OSR PD". *)
+  Alcotest.(check bool) "fig2 is 3-OSR" true
+    (Properties.is_k_osr Builtin.fig2 3)
+
+let test_fig2_byzantine_safe_any_single_fault () =
+  (* "whether the faulty process is a sink member or not" — the graph
+     provides enough knowledge to solve consensus with f = 1, i.e. it is
+     Byzantine-safe for every possible singleton F. *)
+  Pid.Set.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "byzantine-safe for F = {%d}" v)
+        true
+        (Properties.is_byzantine_safe Builtin.fig2 ~f:1
+           ~faulty:(Pid.Set.singleton v));
+      Alcotest.(check bool)
+        (Printf.sprintf "solvable for F = {%d}" v)
+        true
+        (Properties.solvable Builtin.fig2 ~f:1 ~faulty:(Pid.Set.singleton v)))
+    (Digraph.vertices Builtin.fig2)
+
+let test_multi_sink_rejected () =
+  let g = Digraph.of_edges [ (1, 2); (1, 3) ] in
+  (match Properties.check_k_osr g 1 with
+  | Error (Properties.Sink_count 2) -> ()
+  | Error e ->
+      Alcotest.failf "unexpected error: %a" Properties.pp_osr_failure e
+  | Ok _ -> Alcotest.fail "two sinks should fail");
+  Alcotest.(check bool) "not 1-OSR" false (Properties.is_k_osr g 1)
+
+let test_disconnected_rejected () =
+  let g = Digraph.of_edges [ (1, 2); (3, 4) ] in
+  match Properties.check_k_osr g 1 with
+  | Error Properties.Not_connected -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Properties.pp_osr_failure e
+  | Ok _ -> Alcotest.fail "disconnected graph should fail"
+
+let test_weak_sink_rejected () =
+  (* Sink is a 2-cycle (1-strongly connected); asking for k = 2 fails. *)
+  let g = Digraph.of_edges [ (3, 1); (3, 2); (1, 2); (2, 1) ] in
+  match Properties.check_k_osr g 2 with
+  | Error (Properties.Sink_not_k_connected 1) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Properties.pp_osr_failure e
+  | Ok _ -> Alcotest.fail "1-connected sink should fail k=2"
+
+let test_non_sink_path_deficit () =
+  (* Non-sink vertex 4 has a single path into a 2-connected sink. *)
+  let sink =
+    Digraph.of_edges [ (1, 2); (2, 3); (3, 1); (2, 1); (3, 2); (1, 3) ]
+  in
+  let g = Digraph.add_edge 4 1 sink in
+  match Properties.check_k_osr g 2 with
+  | Error (Properties.Non_sink_paths (4, _, 1)) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Properties.pp_osr_failure e
+  | Ok _ -> Alcotest.fail "path-deficient non-sink vertex should fail"
+
+let test_solvable_needs_correct_sink_majority () =
+  (* fig2 with f = 1 but all of {1,2,3} faulty is far beyond the
+     threshold; with f = 3 the sink retains only 1 correct member,
+     violating the 2f+1 requirement. *)
+  Alcotest.(check bool) "too many sink faults" false
+    (Properties.solvable Builtin.fig2 ~f:3 ~faulty:(set [ 1; 2; 3 ]))
+
+let suites =
+  [
+    ( "properties",
+      [
+        Alcotest.test_case "fig1 structure" `Quick test_fig1_structure;
+        Alcotest.test_case "fig2 structure" `Quick test_fig2_structure;
+        Alcotest.test_case "fig2 byzantine-safe for any single fault" `Quick
+          test_fig2_byzantine_safe_any_single_fault;
+        Alcotest.test_case "multiple sinks rejected" `Quick
+          test_multi_sink_rejected;
+        Alcotest.test_case "disconnected rejected" `Quick
+          test_disconnected_rejected;
+        Alcotest.test_case "weak sink rejected" `Quick test_weak_sink_rejected;
+        Alcotest.test_case "non-sink path deficit" `Quick
+          test_non_sink_path_deficit;
+        Alcotest.test_case "2f+1 correct sink members required" `Quick
+          test_solvable_needs_correct_sink_majority;
+      ] );
+  ]

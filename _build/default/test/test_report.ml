@@ -1,0 +1,58 @@
+open Stellar_cup
+
+(* naive substring search, sufficient for assertions *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let sample =
+  Report.make ~id:"T" ~title:"demo"
+    ~header:[ "col"; "longer column" ]
+    ~notes:[ "a note" ]
+    [ [ "a"; "b" ]; [ "wide cell"; "c" ] ]
+
+let test_plain_rendering () =
+  let s = Format.asprintf "%a" Report.pp sample in
+  Alcotest.(check bool) "title present" true (contains s "== T: demo ==");
+  Alcotest.(check bool) "header present" true (contains s "longer column");
+  Alcotest.(check bool) "note present" true (contains s "note: a note");
+  Alcotest.(check bool) "cells present" true (contains s "wide cell")
+
+let test_alignment () =
+  let s = Format.asprintf "%a" Report.pp sample in
+  (* the header line pads "col" to the width of "wide cell": the
+     two-space gap must start at a consistent offset *)
+  let lines = String.split_on_char '\n' s in
+  let header_line =
+    List.find (fun l -> contains l "longer column") lines
+  in
+  Alcotest.(check bool) "header first column padded" true
+    (contains header_line "col        longer column")
+
+let test_markdown () =
+  let md = Report.to_markdown sample in
+  Alcotest.(check bool) "md header" true (contains md "### T: demo");
+  Alcotest.(check bool) "md separator" true (contains md "| --- | --- |");
+  Alcotest.(check bool) "md row" true (contains md "| wide cell | c |");
+  Alcotest.(check bool) "md note" true (contains md "*a note*")
+
+let test_empty_rows () =
+  let t = Report.make ~id:"X" ~title:"empty" ~header:[ "a" ] [] in
+  let s = Format.asprintf "%a" Report.pp t in
+  Alcotest.(check bool) "renders without rows" true (contains s "== X: empty ==")
+
+let suites =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "plain rendering" `Quick test_plain_rendering;
+        Alcotest.test_case "alignment" `Quick test_alignment;
+        Alcotest.test_case "markdown" `Quick test_markdown;
+        Alcotest.test_case "empty table" `Quick test_empty_rows;
+      ] );
+  ]

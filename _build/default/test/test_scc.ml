@@ -1,0 +1,126 @@
+open Graphkit
+
+let set = Pid.Set.of_list
+let pid_set = Alcotest.testable Pid.Set.pp Pid.Set.equal
+
+let sort_comps cs = List.sort compare (List.map Pid.Set.elements cs)
+
+let test_two_cycles () =
+  let g = Digraph.of_edges [ (1, 2); (2, 1); (2, 3); (3, 4); (4, 3) ] in
+  Alcotest.(check (list (list int)))
+    "components"
+    [ [ 1; 2 ]; [ 3; 4 ] ]
+    (sort_comps (Scc.components g))
+
+let test_singletons () =
+  let g = Digraph.of_edges [ (1, 2); (2, 3) ] in
+  Alcotest.(check (list (list int)))
+    "three singleton components"
+    [ [ 1 ]; [ 2 ]; [ 3 ] ]
+    (sort_comps (Scc.components g))
+
+let test_component_of () =
+  let g = Digraph.of_edges [ (1, 2); (2, 1); (2, 3) ] in
+  Alcotest.check pid_set "component of 1" (set [ 1; 2 ]) (Scc.component_of g 1);
+  Alcotest.check pid_set "component of 3" (set [ 3 ]) (Scc.component_of g 3)
+
+let test_strongly_connected () =
+  Alcotest.(check bool) "cycle" true
+    (Scc.is_strongly_connected (Digraph.of_edges [ (1, 2); (2, 3); (3, 1) ]));
+  Alcotest.(check bool) "chain" false
+    (Scc.is_strongly_connected (Digraph.of_edges [ (1, 2); (2, 3) ]));
+  Alcotest.(check bool) "empty" true (Scc.is_strongly_connected Digraph.empty)
+
+let test_big_cycle_no_stack_overflow () =
+  let n = 50_000 in
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  let g = Digraph.of_edges edges in
+  Alcotest.(check int) "single component" 1 (List.length (Scc.components g))
+
+(* Reference implementation: i ~ j iff mutually reachable. *)
+let naive_sccs g =
+  let vs = Pid.Set.elements (Digraph.vertices g) in
+  let reach = List.map (fun v -> (v, Traversal.reachable g v)) vs in
+  let r v = List.assoc v reach in
+  List.fold_left
+    (fun comps v ->
+      if List.exists (Pid.Set.mem v) comps then comps
+      else
+        Pid.Set.of_list
+          (List.filter
+             (fun w -> Pid.Set.mem w (r v) && Pid.Set.mem v (r w))
+             vs)
+        :: comps)
+    [] vs
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun g -> Format.asprintf "%a" Digraph.pp g)
+    QCheck.Gen.(
+      let* n = int_range 1 9 in
+      let* edges =
+        list_size (int_bound 25) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      in
+      return (Digraph.of_edges edges))
+
+let prop_matches_naive =
+  QCheck.Test.make ~count:300 ~name:"tarjan matches naive SCC" arb_graph
+    (fun g -> sort_comps (Scc.components g) = sort_comps (naive_sccs g))
+
+let prop_partition =
+  QCheck.Test.make ~count:300 ~name:"components partition the vertices"
+    arb_graph (fun g ->
+      let all =
+        List.fold_left Pid.Set.union Pid.Set.empty (Scc.components g)
+      in
+      let total =
+        List.fold_left (fun n c -> n + Pid.Set.cardinal c) 0 (Scc.components g)
+      in
+      Pid.Set.equal all (Digraph.vertices g)
+      && total = Pid.Set.cardinal (Digraph.vertices g))
+
+let prop_reverse_topological_order =
+  QCheck.Test.make ~count:300 ~name:"tarjan emits callees first" arb_graph
+    (fun g ->
+      (* If component A is listed before component B, there is no path
+         from B to A unless B = A: Tarjan emits a component only after
+         everything reachable from it. *)
+      let comps = Array.of_list (Scc.components g) in
+      let ok = ref true in
+      Array.iteri
+        (fun ia a ->
+          Array.iteri
+            (fun ib b ->
+              if ia < ib then
+                (* no edge from a later component to an earlier one is
+                   allowed in the wrong direction: edges out of [b] may
+                   reach [a]? no — [a] was emitted first, so nothing in
+                   [a] reaches [b]. *)
+                Pid.Set.iter
+                  (fun v ->
+                    if
+                      Pid.Set.exists
+                        (fun w -> Pid.Set.mem w b)
+                        (Traversal.reachable g v)
+                    then ok := false)
+                  a)
+            comps)
+        comps;
+      !ok)
+
+let suites =
+  [
+    ( "scc",
+      [
+        Alcotest.test_case "two cycles" `Quick test_two_cycles;
+        Alcotest.test_case "chain gives singletons" `Quick test_singletons;
+        Alcotest.test_case "component_of" `Quick test_component_of;
+        Alcotest.test_case "is_strongly_connected" `Quick
+          test_strongly_connected;
+        Alcotest.test_case "50k-cycle, iterative (no overflow)" `Slow
+          test_big_cycle_no_stack_overflow;
+        QCheck_alcotest.to_alcotest prop_matches_naive;
+        QCheck_alcotest.to_alcotest prop_partition;
+        QCheck_alcotest.to_alcotest prop_reverse_topological_order;
+      ] );
+  ]

@@ -1,0 +1,94 @@
+(* Schedule fuzzing: random pre-GST partitions hunting for safety
+   violations.
+
+   The dividing line the paper draws is exactly reproduced here:
+   - systems whose quorums intertwine (threshold systems, Algorithm 2
+     slices) must keep agreement under EVERY schedule;
+   - the local-slice counter-example system loses agreement under some
+     (indeed most bipartition) schedules. *)
+
+open Graphkit
+open Scp
+
+let v = Value.of_ints
+
+let fuzz_delay ~seed ~n = Simkit.Delay.random_partition ~gst:30_000 ~delta:5 ~seed ~n
+
+let prop_threshold_system_safe_under_fuzz =
+  QCheck.Test.make ~count:20
+    ~name:"3-of-4 threshold system: agreement under random partitions"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let members = Pid.Set.of_range 1 4 in
+      let system =
+        Fbqs.Quorum.system_of_list
+          (List.map
+             (fun i -> (i, Fbqs.Slice.threshold ~members ~threshold:3))
+             (Pid.Set.elements members))
+      in
+      let o =
+        Runner.run ~seed ~max_time:100_000
+          ~delay:(fuzz_delay ~seed ~n:5)
+          ~system
+          ~peers_of:(fun _ -> members)
+          ~initial_value_of:(fun i -> v [ i ])
+          ~fault_of:(fun _ -> None)
+          ()
+      in
+      (* agreement and validity are unconditional; termination holds
+         because the partition heals at GST *)
+      o.agreement && o.validity && o.all_decided)
+
+let prop_algorithm2_fig2_safe_under_fuzz =
+  QCheck.Test.make ~count:12
+    ~name:"Algorithm 2 slices: agreement under random partitions"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let system = Cup.Slice_builder.system_via_oracle ~f:1 Builtin.fig2 in
+      let peers_of i = Fbqs.Slice.domain (Fbqs.Quorum.slices_of system i) in
+      let o =
+        Runner.run ~seed ~max_time:100_000
+          ~delay:(fuzz_delay ~seed ~n:8)
+          ~system ~peers_of
+          ~initial_value_of:(fun i -> v [ i ])
+          ~fault_of:(fun _ -> None)
+          ()
+      in
+      o.agreement && o.validity && o.all_decided)
+
+let test_local_slices_violated_by_some_schedule () =
+  (* On the counter-example family the sink/non-sink bipartition breaks
+     agreement; random bipartitions hit it (or another splitting cut)
+     with decent probability, so a small seed sweep must find at least
+     one violation. *)
+  let g = Generators.fig2_family ~sink_size:4 ~non_sink:3 in
+  let pd = Cup.Participant_detector.of_graph ~f:1 g in
+  let system = Cup.Local_slices.system ~rule:Cup.Local_slices.all_but_one pd in
+  let violated = ref false in
+  for seed = 0 to 19 do
+    if not !violated then begin
+      let o =
+        Runner.run ~seed ~max_time:100_000
+          ~delay:(fuzz_delay ~seed ~n:7)
+          ~system
+          ~peers_of:(fun i -> Cup.Participant_detector.query pd i)
+          ~initial_value_of:(fun i -> v [ (if i < 4 then 100 else 200) ])
+          ~fault_of:(fun _ -> None)
+          ()
+      in
+      if o.all_decided && not o.agreement then violated := true
+    end
+  done;
+  Alcotest.(check bool) "some random schedule splits the local slices" true
+    !violated
+
+let suites =
+  [
+    ( "schedule_fuzz",
+      [
+        QCheck_alcotest.to_alcotest prop_threshold_system_safe_under_fuzz;
+        QCheck_alcotest.to_alcotest prop_algorithm2_fig2_safe_under_fuzz;
+        Alcotest.test_case "local slices violated by fuzzing" `Quick
+          test_local_slices_violated_by_some_schedule;
+      ] );
+  ]

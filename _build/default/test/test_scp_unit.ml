@@ -1,0 +1,123 @@
+open Scp
+
+let v = Value.of_ints
+
+let test_value_ops () =
+  Alcotest.(check bool) "combine unions" true
+    (Value.equal (v [ 1; 2; 3 ]) (Value.combine [ v [ 1 ]; v [ 2; 3 ] ]));
+  Alcotest.(check bool) "combine empty" true
+    (Value.equal Value.empty (Value.combine []));
+  Alcotest.(check bool) "order by cardinality first" true
+    (Value.compare (v [ 9 ]) (v [ 1; 2 ]) < 0);
+  Alcotest.(check bool) "lexicographic tie-break" true
+    (Value.compare (v [ 1; 3 ]) (v [ 1; 4 ]) <> 0)
+
+let test_ballot_order () =
+  let b1 = Ballot.make 1 (v [ 1 ]) in
+  let b2 = Ballot.make 2 (v [ 1 ]) in
+  let b1' = Ballot.make 1 (v [ 2 ]) in
+  Alcotest.(check bool) "counter dominates" true (Ballot.compare b1 b2 < 0);
+  Alcotest.(check bool) "compatible same value" true (Ballot.compatible b1 b2);
+  Alcotest.(check bool) "incompatible different value" false
+    (Ballot.compatible b1 b1');
+  Alcotest.(check bool) "abort relation" true
+    (Ballot.less_and_incompatible b1 (Ballot.make 2 (v [ 2 ])));
+  Alcotest.(check bool) "no abort when compatible" false
+    (Ballot.less_and_incompatible b1 b2)
+
+let test_statement_implication () =
+  let b = Ballot.make 3 (v [ 7 ]) in
+  match Statement.implied (Statement.Commit b) with
+  | [ Statement.Prepare b' ] ->
+      Alcotest.(check bool) "commit implies prepare of same ballot" true
+        (Ballot.equal b b')
+  | _ -> Alcotest.fail "commit must imply exactly its prepare"
+
+(* Federated voting over a 3-of-4 threshold system. *)
+let threshold_system n t =
+  let members = Graphkit.Pid.Set.of_range 1 n in
+  Fbqs.Quorum.system_of_list
+    (List.map
+       (fun i -> (i, Fbqs.Slice.threshold ~members ~threshold:t))
+       (Graphkit.Pid.Set.elements members))
+
+let test_fv_accept_via_quorum () =
+  let sys = threshold_system 4 3 in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let stmt = Statement.Nominate (v [ 5 ]) in
+  Alcotest.(check bool) "nothing yet" false (Fvoting.can_accept fv stmt);
+  Fvoting.record_vote fv stmt 1;
+  Fvoting.record_vote fv stmt 2;
+  Alcotest.(check bool) "2 of 4 votes insufficient" false
+    (Fvoting.can_accept fv stmt);
+  Fvoting.record_vote fv stmt 3;
+  Alcotest.(check bool) "3 of 4 votes suffice" true
+    (Fvoting.can_accept fv stmt)
+
+let test_fv_accept_requires_own_membership () =
+  let sys = threshold_system 4 3 in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let stmt = Statement.Nominate (v [ 5 ]) in
+  (* A quorum that does not include node 1 does not let 1 accept via
+     the quorum arm. *)
+  Fvoting.record_vote fv stmt 2;
+  Fvoting.record_vote fv stmt 3;
+  Fvoting.record_vote fv stmt 4;
+  Alcotest.(check bool) "quorum arm requires own vote" false
+    (Fvoting.quorum_votes fv stmt)
+
+let test_fv_accept_via_blocking () =
+  let sys = threshold_system 4 3 in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let stmt = Statement.Nominate (v [ 5 ]) in
+  (* v-blocking for threshold 3-of-4: leave fewer than 3 slots, i.e.
+     any 2 of the other members. *)
+  Fvoting.record_accept fv stmt 2;
+  Alcotest.(check bool) "one acceptor not blocking" false
+    (Fvoting.blocking_accepts fv stmt);
+  Fvoting.record_accept fv stmt 3;
+  Alcotest.(check bool) "two acceptors blocking" true
+    (Fvoting.blocking_accepts fv stmt);
+  Alcotest.(check bool) "accept now possible without own vote" true
+    (Fvoting.can_accept fv stmt)
+
+let test_fv_confirm () =
+  let sys = threshold_system 4 3 in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let stmt = Statement.Nominate (v [ 5 ]) in
+  Fvoting.record_accept fv stmt 1;
+  Fvoting.record_accept fv stmt 2;
+  Alcotest.(check bool) "2 acceptors no confirm" false
+    (Fvoting.can_confirm fv stmt);
+  Fvoting.record_accept fv stmt 3;
+  Alcotest.(check bool) "3 acceptors confirm" true
+    (Fvoting.can_confirm fv stmt)
+
+let test_fv_commit_implies_prepare_tally () =
+  let sys = threshold_system 4 3 in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let b = Ballot.make 1 (v [ 5 ]) in
+  Fvoting.record_vote fv (Statement.Commit b) 2;
+  let tl = Fvoting.tally fv (Statement.Prepare b) in
+  Alcotest.(check bool) "commit vote counted for prepare" true
+    (Graphkit.Pid.Set.mem 2 tl.voters)
+
+let suites =
+  [
+    ( "scp_unit",
+      [
+        Alcotest.test_case "value operations" `Quick test_value_ops;
+        Alcotest.test_case "ballot order" `Quick test_ballot_order;
+        Alcotest.test_case "statement implication" `Quick
+          test_statement_implication;
+        Alcotest.test_case "FV accept via quorum" `Quick
+          test_fv_accept_via_quorum;
+        Alcotest.test_case "FV quorum arm needs own vote" `Quick
+          test_fv_accept_requires_own_membership;
+        Alcotest.test_case "FV accept via v-blocking" `Quick
+          test_fv_accept_via_blocking;
+        Alcotest.test_case "FV confirm" `Quick test_fv_confirm;
+        Alcotest.test_case "FV commit implies prepare" `Quick
+          test_fv_commit_implies_prepare_tally;
+      ] );
+  ]

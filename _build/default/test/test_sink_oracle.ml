@@ -1,0 +1,90 @@
+open Graphkit
+open Cup
+
+let pid_set = Alcotest.testable Pid.Set.pp Pid.Set.equal
+
+let test_fig1_answers () =
+  Pid.Set.iter
+    (fun i ->
+      let a = Sink_oracle.get_sink Builtin.fig1 i in
+      Alcotest.(check bool)
+        (Printf.sprintf "in_sink for %d" i)
+        (Pid.Set.mem i Builtin.fig1_sink)
+        a.in_sink;
+      Alcotest.check pid_set
+        (Printf.sprintf "view for %d" i)
+        Builtin.fig1_sink a.view)
+    (Digraph.vertices Builtin.fig1)
+
+let test_no_unique_sink_rejected () =
+  let g = Digraph.of_edges [ (1, 2); (1, 3) ] in
+  Alcotest.check_raises "two sinks"
+    (Invalid_argument "Sink_oracle: graph has no unique sink component")
+    (fun () -> ignore (Sink_oracle.get_sink g 1))
+
+let test_restricted_oracle_definition8 () =
+  let f = 1 in
+  let faulty = Pid.Set.singleton 8 in
+  let correct = Pid.Set.diff (Digraph.vertices Builtin.fig1) faulty in
+  Pid.Set.iter
+    (fun i ->
+      let a =
+        Sink_oracle.get_sink_restricted ~seed:3 ~f ~correct Builtin.fig1 i
+      in
+      if Pid.Set.mem i Builtin.fig1_sink then begin
+        Alcotest.(check bool) "sink member flagged" true a.in_sink;
+        Alcotest.check pid_set "sink member gets full V_sink"
+          Builtin.fig1_sink a.view
+      end
+      else begin
+        Alcotest.(check bool) "non-sink flagged" false a.in_sink;
+        Alcotest.(check bool) "view within V_sink" true
+          (Pid.Set.subset a.view Builtin.fig1_sink);
+        Alcotest.(check bool)
+          "at least f+1 correct sink members"
+          true
+          (Pid.Set.cardinal (Pid.Set.inter a.view correct) >= f + 1)
+      end)
+    (Digraph.vertices Builtin.fig1)
+
+let test_restricted_deterministic () =
+  let f = 1 in
+  let correct = Pid.Set.of_range 1 7 in
+  let a1 = Sink_oracle.get_sink_restricted ~seed:5 ~f ~correct Builtin.fig1 1 in
+  let a2 = Sink_oracle.get_sink_restricted ~seed:5 ~f ~correct Builtin.fig1 1 in
+  Alcotest.check pid_set "same seed, same view" a1.view a2.view
+
+let prop_oracle_on_random_graphs =
+  QCheck.Test.make ~count:40 ~name:"oracle answers satisfy Definition 8"
+    QCheck.(pair (int_bound 500) (int_range 1 2))
+    (fun (seed, f) ->
+      let sink_size = (3 * f) + 2 in
+      let g, sink =
+        Generators.random_byzantine_safe ~seed ~f ~sink_size ~non_sink:3 ()
+      in
+      let faulty = Generators.random_faulty_set ~seed ~f g in
+      let correct = Pid.Set.diff (Digraph.vertices g) faulty in
+      Pid.Set.for_all
+        (fun i ->
+          let a = Sink_oracle.get_sink_restricted ~seed ~f ~correct g i in
+          if Pid.Set.mem i sink then a.in_sink && Pid.Set.equal a.view sink
+          else
+            (not a.in_sink)
+            && Pid.Set.subset a.view sink
+            && Pid.Set.cardinal (Pid.Set.inter a.view correct) >= f + 1)
+        (Digraph.vertices g))
+
+let suites =
+  [
+    ( "sink_oracle",
+      [
+        Alcotest.test_case "fig1 answers" `Quick test_fig1_answers;
+        Alcotest.test_case "no unique sink rejected" `Quick
+          test_no_unique_sink_rejected;
+        Alcotest.test_case "restricted oracle meets Definition 8" `Quick
+          test_restricted_oracle_definition8;
+        Alcotest.test_case "restricted oracle deterministic" `Quick
+          test_restricted_deterministic;
+        QCheck_alcotest.to_alcotest prop_oracle_on_random_graphs;
+      ] );
+  ]

@@ -1,0 +1,194 @@
+open Graphkit
+open Cup
+
+let no_faults _ = None
+
+let check_answers ?(faulty = Pid.Set.empty) ?(f = 1) ~graph ~sink
+    (result : Sink_protocol.run_result) =
+  let correct = Pid.Set.diff (Digraph.vertices graph) faulty in
+  Pid.Set.iter
+    (fun i ->
+      match Pid.Map.find_opt i result.answers with
+      | None -> Alcotest.failf "correct process %d got no answer" i
+      | Some (a : Sink_oracle.answer) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "in_sink flag of %d" i)
+            (Pid.Set.mem i sink) a.in_sink;
+          if Pid.Set.mem i sink then
+            Alcotest.(check bool)
+              (Printf.sprintf "sink member %d sees V_sink" i)
+              true
+              (Pid.Set.equal a.view sink)
+          else begin
+            Alcotest.(check bool)
+              (Printf.sprintf "view of %d within V_sink" i)
+              true
+              (Pid.Set.subset a.view sink);
+            Alcotest.(check bool)
+              (Printf.sprintf "view of %d has f+1 correct sink members" i)
+              true
+              (Pid.Set.cardinal (Pid.Set.inter a.view correct) >= f + 1)
+          end)
+    correct
+
+let test_fig1_fault_free () =
+  (* Fig. 1 is 1-OSR: process 2 reaches the sink through a single
+     disjoint path, so the distributed protocol requires f = 0 there
+     (the paper uses fig1 for the slice examples, not for
+     Byzantine-safety). *)
+  let result =
+    Sink_protocol.run ~graph:Builtin.fig1 ~f:0 ~fault_of:no_faults ()
+  in
+  check_answers ~f:0 ~graph:Builtin.fig1 ~sink:Builtin.fig1_sink result
+
+let test_fig2_fault_free () =
+  let result =
+    Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of:no_faults ()
+  in
+  check_answers ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
+
+let test_fig2_with_silent_sink_member () =
+  let faulty = Pid.Set.singleton 4 in
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some Sink_protocol.Silent else None
+  in
+  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
+
+let test_fig2_with_silent_non_sink () =
+  let faulty = Pid.Set.singleton 6 in
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some Sink_protocol.Silent else None
+  in
+  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
+
+let test_sink_liar_defeated () =
+  (* A faulty non-sink member eagerly answers GET_SINK with a fake sink;
+     Algorithm 3's "repeated more than f times" rule must reject it. *)
+  let fake = Pid.Set.of_list [ 5; 6; 7 ] in
+  let faulty = Pid.Set.singleton 6 in
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some (Sink_protocol.Sink_liar fake) else None
+  in
+  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
+
+let test_sink_liar_inside_sink_defeated () =
+  let fake = Pid.Set.of_list [ 4; 5; 6 ] in
+  let faulty = Pid.Set.singleton 4 in
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some (Sink_protocol.Sink_liar fake) else None
+  in
+  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
+
+let test_know_liar_fabrications_filtered () =
+  let fakes = Pid.Set.of_list [ 90; 91 ] in
+  let faulty = Pid.Set.singleton 2 in
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some (Sink_protocol.Know_liar fakes) else None
+  in
+  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result;
+  (* No fabricated id ever surfaces in any answer. *)
+  Pid.Map.iter
+    (fun i (a : Sink_oracle.answer) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no fabricated ids for %d" i)
+        true
+        (Pid.Set.is_empty (Pid.Set.inter a.view fakes)))
+    result.answers
+
+let test_matches_pure_oracle () =
+  let result =
+    Sink_protocol.run ~graph:Builtin.fig1 ~f:0 ~fault_of:no_faults ()
+  in
+  Pid.Map.iter
+    (fun i (a : Sink_oracle.answer) ->
+      let expected = Sink_oracle.get_sink Builtin.fig1 i in
+      Alcotest.(check bool)
+        (Printf.sprintf "protocol matches oracle for %d" i)
+        true
+        (a.in_sink = expected.in_sink && Pid.Set.subset a.view expected.view))
+    result.answers
+
+let test_deterministic () =
+  let run () =
+    Sink_protocol.run ~seed:9 ~graph:Builtin.fig2 ~f:1 ~fault_of:no_faults ()
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check int) "same message count" r1.stats.messages_sent
+    r2.stats.messages_sent;
+  Alcotest.(check int) "same end time" r1.stats.end_time r2.stats.end_time
+
+let prop_random_graphs_fault_free =
+  QCheck.Test.make ~count:10
+    ~name:"sink protocol correct on random byzantine-safe graphs"
+    QCheck.(pair (int_bound 200) (int_range 1 1))
+    (fun (seed, f) ->
+      let g, sink =
+        Generators.random_byzantine_safe ~seed ~f ~sink_size:((3 * f) + 2)
+          ~non_sink:3 ()
+      in
+      let result = Sink_protocol.run ~seed ~graph:g ~f ~fault_of:no_faults () in
+      Pid.Set.for_all
+        (fun i ->
+          match Pid.Map.find_opt i result.answers with
+          | None -> false
+          | Some a ->
+              if Pid.Set.mem i sink then
+                a.in_sink && Pid.Set.equal a.view sink
+              else (not a.in_sink) && Pid.Set.subset a.view sink)
+        (Digraph.vertices g))
+
+let prop_random_graphs_with_silent_fault =
+  QCheck.Test.make ~count:8
+    ~name:"sink protocol tolerates a silent faulty process"
+    QCheck.(int_bound 200)
+    (fun seed ->
+      let f = 1 in
+      let g, sink =
+        Generators.random_byzantine_safe ~seed ~f ~sink_size:5 ~non_sink:3 ()
+      in
+      let faulty = Generators.random_faulty_set ~seed ~f g in
+      let fault_of i =
+        if Pid.Set.mem i faulty then Some Sink_protocol.Silent else None
+      in
+      let result = Sink_protocol.run ~seed ~graph:g ~f ~fault_of () in
+      Pid.Set.for_all
+        (fun i ->
+          Pid.Set.mem i faulty
+          ||
+          match Pid.Map.find_opt i result.answers with
+          | None -> false
+          | Some a ->
+              if Pid.Set.mem i sink then
+                a.in_sink && Pid.Set.subset a.view sink
+                && Pid.Set.subset (Pid.Set.diff sink faulty) a.view
+              else (not a.in_sink) && Pid.Set.subset a.view sink)
+        (Digraph.vertices g))
+
+let suites =
+  [
+    ( "sink_protocol",
+      [
+        Alcotest.test_case "fig1 fault-free" `Quick test_fig1_fault_free;
+        Alcotest.test_case "fig2 fault-free" `Quick test_fig2_fault_free;
+        Alcotest.test_case "fig2 silent sink member" `Quick
+          test_fig2_with_silent_sink_member;
+        Alcotest.test_case "fig2 silent non-sink member" `Quick
+          test_fig2_with_silent_non_sink;
+        Alcotest.test_case "sink liar (non-sink) defeated" `Quick
+          test_sink_liar_defeated;
+        Alcotest.test_case "sink liar (sink member) defeated" `Quick
+          test_sink_liar_inside_sink_defeated;
+        Alcotest.test_case "know liar filtered" `Quick
+          test_know_liar_fabrications_filtered;
+        Alcotest.test_case "protocol matches pure oracle" `Quick
+          test_matches_pure_oracle;
+        Alcotest.test_case "deterministic runs" `Quick test_deterministic;
+        QCheck_alcotest.to_alcotest prop_random_graphs_fault_free;
+        QCheck_alcotest.to_alcotest prop_random_graphs_with_silent_fault;
+      ] );
+  ]

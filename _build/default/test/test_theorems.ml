@@ -1,0 +1,106 @@
+open Graphkit
+open Stellar_cup
+
+let test_theorem2_fig2 () =
+  match Theorems.theorem2_witness ~f:1 Builtin.fig2 with
+  | Some w ->
+      Alcotest.(check bool) "witness quorums thin-intersecting" true
+        (Pid.Set.cardinal (Pid.Set.inter w.quorum_a w.quorum_b) <= 1);
+      Alcotest.(check bool) "quorums nonempty" true
+        ((not (Pid.Set.is_empty w.quorum_a))
+        && not (Pid.Set.is_empty w.quorum_b))
+  | None -> Alcotest.fail "fig2 must admit a Theorem 2 witness"
+
+let test_theorem2_family_always () =
+  List.iter
+    (fun (s, m, f) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "family s=%d m=%d f=%d" s m f)
+        true
+        (Theorems.theorem2_witness ~f
+           (Generators.fig2_family ~sink_size:s ~non_sink:m)
+        <> None))
+    [ (4, 3, 1); (5, 4, 1); (6, 5, 1) ]
+
+let test_theorem2_none_on_good_slices () =
+  (* The witness search is honest: on the fig2 graph but with the
+     drop_f rule AND a complete graph, no violation can exist. *)
+  let g = Generators.complete ~n:5 in
+  (* Complete graph: PD_i = everyone else; all-but-one slices are large
+     and all quorums overlap heavily. *)
+  Alcotest.(check bool) "complete graph has no witness" true
+    (Theorems.theorem2_witness ~f:1 g = None)
+
+let test_theorem3_closed_form_bounds () =
+  Alcotest.(check bool) "s=4 f=1" true
+    (Theorems.theorem3_closed_form ~sink_size:4 ~f:1);
+  Alcotest.(check bool) "s=40 f=5" true
+    (Theorems.theorem3_closed_form ~sink_size:40 ~f:5)
+
+let test_theorem4_and_5_on_fig2 () =
+  let f = 1 in
+  let sys = Cup.Slice_builder.system_via_oracle ~f Builtin.fig2 in
+  Pid.Set.iter
+    (fun faulty_one ->
+      let correct =
+        Pid.Set.remove faulty_one (Digraph.vertices Builtin.fig2)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "thm4 faulty=%d" faulty_one)
+        true
+        (Theorems.theorem4_holds ~f ~correct sys);
+      Alcotest.(check bool)
+        (Printf.sprintf "thm5 faulty=%d" faulty_one)
+        true
+        (Theorems.theorem5_holds ~f ~correct sys))
+    (Digraph.vertices Builtin.fig2)
+
+let test_theorem5_fails_for_local_slices () =
+  let f = 1 in
+  let pd = Cup.Participant_detector.of_graph ~f Builtin.fig2 in
+  let sys = Cup.Local_slices.system ~rule:Cup.Local_slices.all_but_one pd in
+  let correct = Digraph.vertices Builtin.fig2 in
+  Alcotest.(check bool) "local slices: no grand cluster" false
+    (Theorems.theorem5_holds ~f ~correct sys)
+
+let test_inequality1 () =
+  (* |V_sink| >= |F_sink| + ceil((|V_sink|+f+1)/2) *)
+  Alcotest.(check bool) "s=5 f=1 fs=1" true
+    (Theorems.inequality1_tight ~sink_size:5 ~f:1 ~faulty_in_sink:1);
+  Alcotest.(check bool) "s=4 f=1 fs=1" false
+    (* 4 >= 1 + 3 holds: ceil((4+2)/2)=3, 1+3=4 <= 4 -> true! *)
+    (not (Theorems.inequality1_tight ~sink_size:4 ~f:1 ~faulty_in_sink:1));
+  Alcotest.(check bool) "s=3 f=1 fs=1 fails (sink too small)" false
+    (Theorems.inequality1_tight ~sink_size:3 ~f:1 ~faulty_in_sink:1);
+  (* the paper's guarantee: s >= 2f+1+fs implies the inequality *)
+  let all_ok = ref true in
+  for f = 0 to 4 do
+    for fs = 0 to f do
+      for s = (2 * f) + 1 + fs to (2 * f) + 12 do
+        if not (Theorems.inequality1_tight ~sink_size:s ~f ~faulty_in_sink:fs)
+        then all_ok := false
+      done
+    done
+  done;
+  Alcotest.(check bool) "2f+1 correct sink members suffice, always" true
+    !all_ok
+
+let suites =
+  [
+    ( "theorems",
+      [
+        Alcotest.test_case "theorem 2 witness on fig2" `Quick
+          test_theorem2_fig2;
+        Alcotest.test_case "theorem 2 on the family" `Quick
+          test_theorem2_family_always;
+        Alcotest.test_case "no false witnesses" `Quick
+          test_theorem2_none_on_good_slices;
+        Alcotest.test_case "theorem 3 closed form" `Quick
+          test_theorem3_closed_form_bounds;
+        Alcotest.test_case "theorems 4-5 on fig2" `Quick
+          test_theorem4_and_5_on_fig2;
+        Alcotest.test_case "theorem 5 fails for local slices" `Quick
+          test_theorem5_fails_for_local_slices;
+        Alcotest.test_case "inequality 1" `Quick test_inequality1;
+      ] );
+  ]

@@ -1,0 +1,123 @@
+open Graphkit
+
+let set = Pid.Set.of_list
+let pid_set = Alcotest.testable Pid.Set.pp Pid.Set.equal
+
+let chain = Digraph.of_edges [ (1, 2); (2, 3); (3, 4) ]
+let cycle = Digraph.of_edges [ (1, 2); (2, 3); (3, 1) ]
+
+let test_reachable () =
+  Alcotest.check pid_set "chain from 2" (set [ 2; 3; 4 ])
+    (Traversal.reachable chain 2);
+  Alcotest.check pid_set "cycle from anywhere" (set [ 1; 2; 3 ])
+    (Traversal.reachable cycle 3);
+  Alcotest.check pid_set "absent vertex" Pid.Set.empty
+    (Traversal.reachable chain 42)
+
+let test_layers () =
+  match Traversal.bfs_layers chain 1 with
+  | [ l0; l1; l2; l3 ] ->
+      Alcotest.check pid_set "layer 0" (set [ 1 ]) l0;
+      Alcotest.check pid_set "layer 1" (set [ 2 ]) l1;
+      Alcotest.check pid_set "layer 2" (set [ 3 ]) l2;
+      Alcotest.check pid_set "layer 3" (set [ 4 ]) l3
+  | layers -> Alcotest.failf "expected 4 layers, got %d" (List.length layers)
+
+let test_distance () =
+  Alcotest.(check (option int)) "1 to 4" (Some 3) (Traversal.distance chain 1 4);
+  Alcotest.(check (option int)) "self distance" (Some 0)
+    (Traversal.distance chain 2 2);
+  Alcotest.(check (option int)) "unreachable" None (Traversal.distance chain 4 1)
+
+let test_shortest_path () =
+  (match Traversal.shortest_path chain 1 3 with
+  | Some [ 1; 2; 3 ] -> ()
+  | Some p -> Alcotest.failf "bad path %a" Fmt.(Dump.list int) p
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check bool)
+    "no path backwards" true
+    (Traversal.shortest_path chain 3 1 = None)
+
+let test_connected () =
+  Alcotest.(check bool) "chain undirected-connected" true
+    (Traversal.is_connected_undirected chain);
+  let disconnected = Digraph.of_edges [ (1, 2); (3, 4) ] in
+  Alcotest.(check bool) "two islands" false
+    (Traversal.is_connected_undirected disconnected);
+  Alcotest.(check bool) "empty graph" true
+    (Traversal.is_connected_undirected Digraph.empty)
+
+let test_eccentricity () =
+  Alcotest.(check (option int)) "chain head" (Some 3)
+    (Traversal.eccentricity chain 1);
+  Alcotest.(check (option int)) "chain tail" (Some 0)
+    (Traversal.eccentricity chain 4)
+
+let arb_graph =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let* edges =
+        list_size (int_bound 20) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      in
+      return (Digraph.of_edges edges))
+
+let prop_reachable_contains_src =
+  QCheck.Test.make ~count:200 ~name:"reachable contains source" arb_graph
+    (fun g ->
+      Pid.Set.for_all
+        (fun i -> Pid.Set.mem i (Traversal.reachable g i))
+        (Digraph.vertices g))
+
+let prop_path_length_matches_distance =
+  QCheck.Test.make ~count:200 ~name:"shortest_path length = distance"
+    arb_graph (fun g ->
+      let vs = Pid.Set.elements (Digraph.vertices g) in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              match
+                (Traversal.distance g i j, Traversal.shortest_path g i j)
+              with
+              | Some d, Some p -> List.length p = d + 1
+              | None, None -> true
+              | _ -> false)
+            vs)
+        vs)
+
+let prop_path_follows_edges =
+  QCheck.Test.make ~count:200 ~name:"shortest_path follows edges" arb_graph
+    (fun g ->
+      let vs = Pid.Set.elements (Digraph.vertices g) in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              match Traversal.shortest_path g i j with
+              | None -> true
+              | Some p ->
+                  let rec ok = function
+                    | a :: (b :: _ as rest) ->
+                        Digraph.mem_edge a b g && ok rest
+                    | [ _ ] | [] -> true
+                  in
+                  ok p)
+            vs)
+        vs)
+
+let suites =
+  [
+    ( "traversal",
+      [
+        Alcotest.test_case "reachable" `Quick test_reachable;
+        Alcotest.test_case "bfs layers" `Quick test_layers;
+        Alcotest.test_case "distance" `Quick test_distance;
+        Alcotest.test_case "shortest_path" `Quick test_shortest_path;
+        Alcotest.test_case "undirected connectivity" `Quick test_connected;
+        Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+        QCheck_alcotest.to_alcotest prop_reachable_contains_src;
+        QCheck_alcotest.to_alcotest prop_path_length_matches_distance;
+        QCheck_alcotest.to_alcotest prop_path_follows_edges;
+      ] );
+  ]
