@@ -4,12 +4,20 @@
      dune exec bench/main.exe            -- experiments + microbenches
      dune exec bench/main.exe -- exp     -- experiment tables only
      dune exec bench/main.exe -- micro   -- bechamel microbenches only
-     dune exec bench/main.exe -- markdown -- tables as markdown (for
-                                             EXPERIMENTS.md)
+                                            (writes BENCH_quorum.json)
+     dune exec bench/main.exe -- markdown -- tables as markdown on stdout
+     dune exec bench/main.exe -- regen-experiments
+                                         -- rewrite the generated-tables
+                                            section of EXPERIMENTS.md
+     dune exec bench/main.exe -- check-experiments
+                                         -- exit 1 if EXPERIMENTS.md is
+                                            out of date (CI guard)
 
    One experiment table per paper artifact (figures, algorithms,
    theorems — see DESIGN.md §5), plus Bechamel microbenches for the hot
-   kernels every experiment leans on. *)
+   kernels every experiment leans on. Microbench results are also
+   persisted machine-readably to BENCH_quorum.json so the quorum-kernel
+   perf trajectory is tracked across PRs. *)
 
 open Graphkit
 open Bechamel
@@ -24,12 +32,64 @@ let threshold_system n t =
        (fun i -> (i, Fbqs.Slice.threshold ~members ~threshold:t))
        (Pid.Set.elements members))
 
+(* The seed's tree-set quorum kernel, kept verbatim as the baseline the
+   dense bitset path is measured against: per-member [Pid.Set] counting
+   with a physical-equality memo over shared member records. *)
+let tree_member_ok_cached q =
+  let memo = ref [] in
+  let inter_count members =
+    match List.find_opt (fun (m, _) -> m == members) !memo with
+    | Some (_, c) -> c
+    | None ->
+        let c = Pid.Set.cardinal (Pid.Set.inter members q) in
+        memo := (members, c) :: !memo;
+        c
+  in
+  fun sys i ->
+    match Fbqs.Quorum.slices_of sys i with
+    | Fbqs.Slice.Threshold { members; threshold } ->
+        threshold <= Pid.Set.cardinal members
+        && inter_count members >= threshold
+    | s -> Fbqs.Slice.has_slice_within s q
+
+let tree_is_quorum sys q =
+  (not (Pid.Set.is_empty q))
+  &&
+  let ok = tree_member_ok_cached q sys in
+  Pid.Set.for_all (fun i -> ok i) q
+
+let subject_is_quorum_symbolic = "is_quorum/symbolic n=1000"
+let subject_is_quorum_tree = "is_quorum/tree-set-baseline n=1000"
+let subject_inter_cardinal_dense = "inter-cardinal/dense-bitset n=1000"
+let subject_inter_cardinal_tree = "inter-cardinal/tree-set n=1000"
+
 let bench_is_quorum_symbolic =
   let n = 1000 in
   let sys = threshold_system n ((2 * n / 3) + 1) in
   let q = Pid.Set.of_range 1 ((3 * n / 4) + 1) in
-  Test.make ~name:"is_quorum/symbolic n=1000" (Staged.stage (fun () ->
+  Test.make ~name:subject_is_quorum_symbolic (Staged.stage (fun () ->
       ignore (Fbqs.Quorum.is_quorum sys q)))
+
+let bench_is_quorum_tree_baseline =
+  let n = 1000 in
+  let sys = threshold_system n ((2 * n / 3) + 1) in
+  let q = Pid.Set.of_range 1 ((3 * n / 4) + 1) in
+  Test.make ~name:subject_is_quorum_tree (Staged.stage (fun () ->
+      ignore (tree_is_quorum sys q)))
+
+let bench_inter_cardinal_dense =
+  let n = 1000 in
+  let members = Pid.Dense_set.of_range 1 n in
+  let q = Pid.Dense_set.of_range 1 ((3 * n / 4) + 1) in
+  Test.make ~name:subject_inter_cardinal_dense (Staged.stage (fun () ->
+      ignore (Pid.Dense_set.inter_cardinal members q)))
+
+let bench_inter_cardinal_tree =
+  let n = 1000 in
+  let members = Pid.Set.of_range 1 n in
+  let q = Pid.Set.of_range 1 ((3 * n / 4) + 1) in
+  Test.make ~name:subject_inter_cardinal_tree (Staged.stage (fun () ->
+      ignore (Pid.Set.cardinal (Pid.Set.inter members q))))
 
 let bench_is_quorum_explicit =
   let n = 12 in
@@ -125,6 +185,9 @@ let microbenches =
   Test.make_grouped ~name:"kernels" ~fmt:"%s %s"
     [
       bench_is_quorum_symbolic;
+      bench_is_quorum_tree_baseline;
+      bench_inter_cardinal_dense;
+      bench_inter_cardinal_tree;
       bench_is_quorum_explicit;
       bench_greatest_quorum;
       bench_scc;
@@ -138,6 +201,76 @@ let microbenches =
       bench_dset_check;
       bench_parse_roundtrip;
     ]
+
+(* ---- machine-readable bench results ---------------------------------- *)
+
+let bench_json_file = "BENCH_quorum.json"
+
+let strip_group name =
+  let prefix = "kernels " in
+  if String.length name > String.length prefix
+     && String.sub name 0 (String.length prefix) = prefix
+  then String.sub name (String.length prefix)
+         (String.length name - String.length prefix)
+  else name
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* [rows]: (subject, ns/run) sorted by subject. The comparisons pit the
+   dense bitset kernel against the seed's tree-set path on the same
+   workload; [speedup] > 1 means the dense kernel is faster. *)
+let write_bench_json rows =
+  let find name = List.assoc_opt name rows in
+  let comparisons =
+    List.filter_map
+      (fun (subject, baseline) ->
+        match (find subject, find baseline) with
+        | Some s, Some b when s > 0. && not (Float.is_nan b) ->
+            Some (subject, baseline, b /. s)
+        | _ -> None)
+      [
+        (subject_is_quorum_symbolic, subject_is_quorum_tree);
+        (subject_inter_cardinal_dense, subject_inter_cardinal_tree);
+      ]
+  in
+  let oc = open_out bench_json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"stellar-cup/bench-quorum/v1\",\n";
+  out "  \"unit\": \"ns_per_run\",\n";
+  out "  \"subjects\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %.2f}%s\n"
+        (json_escape name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n";
+  out "  \"comparisons\": [\n";
+  List.iteri
+    (fun i (subject, baseline, speedup) ->
+      out
+        "    {\"subject\": \"%s\", \"baseline\": \"%s\", \"speedup\": %.2f}%s\n"
+        (json_escape subject) (json_escape baseline) speedup
+        (if i = List.length comparisons - 1 then "" else ","))
+    comparisons;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  List.iter
+    (fun (subject, baseline, speedup) ->
+      Format.printf "speedup: %s is %.1fx the %s path@." subject speedup
+        baseline)
+    comparisons;
+  Format.printf "results written to %s@." bench_json_file
 
 let run_microbenches () =
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
@@ -154,7 +287,7 @@ let run_microbenches () =
         | Some (x :: _) -> x
         | _ -> nan
       in
-      rows := (name, ns) :: !rows)
+      rows := (strip_group name, ns) :: !rows)
     results;
   let rows = List.sort compare !rows in
   Format.printf "== Microbenches (Bechamel, monotonic clock) ==@.";
@@ -171,23 +304,100 @@ let run_microbenches () =
       in
       Format.printf "%-45s  %s@." name human)
     rows;
-  Format.printf "@."
+  Format.printf "@.";
+  write_bench_json rows
 
-(* ---- main ------------------------------------------------------------ *)
+(* ---- experiment tables ----------------------------------------------- *)
+
+let experiments_markdown () =
+  let tables = Stellar_cup.Experiments.all ~seed:1 () in
+  String.concat "" (List.map Stellar_cup.Report.to_markdown tables)
 
 let run_experiments ~markdown =
-  let tables = Stellar_cup.Experiments.all ~seed:1 () in
-  if markdown then
-    List.iter
-      (fun t -> print_string (Stellar_cup.Report.to_markdown t))
-      tables
-  else List.iter Stellar_cup.Report.print tables
+  if markdown then print_string (experiments_markdown ())
+  else
+    List.iter Stellar_cup.Report.print (Stellar_cup.Experiments.all ~seed:1 ())
+
+(* EXPERIMENTS.md is prose down to this marker line, generated tables
+   below it; regeneration only touches the generated part, and the
+   output is deterministic (seeded experiments, no wall-clock values),
+   so CI can demand the committed file be reproducible byte-for-byte. *)
+let experiments_file = "EXPERIMENTS.md"
+
+let experiments_marker = "# Generated tables"
+
+let read_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf
+        "error: %s (run from the repository root, where %s lives)\n" msg
+        experiments_file;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let split_at_marker contents =
+  let marker = experiments_marker ^ "\n" in
+  let rec find i =
+    if i + String.length marker > String.length contents then None
+    else if
+      String.sub contents i (String.length marker) = marker
+      && (i = 0 || contents.[i - 1] = '\n')
+    then Some (i + String.length marker)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some stop ->
+      Some
+        ( String.sub contents 0 stop,
+          String.sub contents stop (String.length contents - stop) )
+
+let regen_experiments () =
+  match split_at_marker (read_file experiments_file) with
+  | None ->
+      Printf.eprintf "error: no '%s' marker in %s\n" experiments_marker
+        experiments_file;
+      exit 2
+  | Some (head, _) ->
+      let oc = open_out_bin experiments_file in
+      output_string oc head;
+      output_string oc "\n";
+      output_string oc (experiments_markdown ());
+      close_out oc;
+      Printf.printf "%s regenerated\n" experiments_file
+
+let check_experiments () =
+  match split_at_marker (read_file experiments_file) with
+  | None ->
+      Printf.eprintf "error: no '%s' marker in %s\n" experiments_marker
+        experiments_file;
+      exit 2
+  | Some (_, committed) ->
+      let expected = "\n" ^ experiments_markdown () in
+      if String.equal committed expected then
+        Printf.printf "%s is up to date\n" experiments_file
+      else begin
+        Printf.eprintf
+          "error: %s is stale — run `dune exec bench/main.exe -- \
+           regen-experiments` and commit the result\n"
+          experiments_file;
+        exit 1
+      end
+
+(* ---- main ------------------------------------------------------------ *)
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match mode with
   | "exp" -> run_experiments ~markdown:false
   | "markdown" -> run_experiments ~markdown:true
+  | "regen-experiments" -> regen_experiments ()
+  | "check-experiments" -> check_experiments ()
   | "micro" -> run_microbenches ()
   | _ ->
       run_experiments ~markdown:false;

@@ -11,6 +11,10 @@ let get_sink g i =
   let sink = sink_of g in
   { in_sink = Pid.Set.mem i sink; view = sink }
 
+let shared g =
+  let sink = sink_of g in
+  fun i -> { in_sink = Pid.Set.mem i sink; view = sink }
+
 let get_sink_restricted ~seed ~f ~correct g i =
   let sink = sink_of g in
   if Pid.Set.mem i sink then { in_sink = true; view = sink }

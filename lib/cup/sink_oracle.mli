@@ -16,6 +16,13 @@ val get_sink : Digraph.t -> Pid.t -> answer
     @raise Invalid_argument when the graph has no unique sink
     component (the k-OSR precondition fails). *)
 
+val shared : Digraph.t -> Pid.t -> answer
+(** [shared g] is observationally {!get_sink}[ g], but condenses the
+    graph once at partial application and hands every caller the same
+    physical [view] set — so downstream consumers (Algorithm 2, the
+    quorum compiler) can share per-view work across all processes.
+    @raise Invalid_argument like {!get_sink}, at partial application. *)
+
 val get_sink_restricted :
   seed:int -> f:int -> correct:Pid.Set.t -> Digraph.t -> Pid.t -> answer
 (** A worst-case-legal oracle used for ablations: sink members still get

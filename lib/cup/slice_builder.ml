@@ -13,8 +13,32 @@ let build_slices ~f (answer : Sink_oracle.answer) =
 
 let system_via_oracle ?oracle ~f g =
   let oracle =
-    match oracle with Some o -> o | None -> Sink_oracle.get_sink g
+    match oracle with
+    | Some o -> o
+    | None ->
+        (* Lazily, so a graph that is never queried is never condensed
+           (and an ill-formed one only raises once a query happens). *)
+        let o = lazy (Sink_oracle.shared g) in
+        fun i -> (Lazy.force o) i
+  in
+  (* Algorithm 2 gives every process with the same oracle answer the
+     same slice set, so share one [Slice.t] record per distinct
+     (in_sink, view) answer: the quorum compiler then sees one
+     threshold class for the whole sink instead of |V_sink| copies. *)
+  let memo = ref [] in
+  let slices_for (a : Sink_oracle.answer) =
+    match
+      List.find_opt
+        (fun ((b : Sink_oracle.answer), _) ->
+          b.in_sink = a.in_sink && b.view == a.view)
+        !memo
+    with
+    | Some (_, s) -> s
+    | None ->
+        let s = build_slices ~f a in
+        memo := (a, s) :: !memo;
+        s
   in
   Pid.Set.fold
-    (fun i sys -> Pid.Map.add i (build_slices ~f (oracle i)) sys)
+    (fun i sys -> Pid.Map.add i (slices_for (oracle i)) sys)
     (Digraph.vertices g) Pid.Map.empty

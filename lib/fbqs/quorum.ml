@@ -10,33 +10,157 @@ let slices_of sys i =
 
 let participants = Pid.Map.keys
 
-(* The per-member test of Algorithm 1, with a per-evaluation cache.
-   Threshold systems built by Algorithm 2 share one [members] set record
-   across all processes, so the [|q ∩ members|] count — the whole cost
-   of the symbolic test — is computed once per distinct (physically
-   shared) member set instead of once per process. *)
-let member_ok_cached q =
-  let memo = ref [] in
-  let inter_count members =
-    match List.find_opt (fun (m, _) -> m == members) !memo with
-    | Some (_, c) -> c
-    | None ->
-        let c = Pid.Set.cardinal (Pid.Set.inter members q) in
-        memo := (members, c) :: !memo;
-        c
+(* ---- compiled systems over the dense bitset kernel ------------------
+
+   Algorithm 1 evaluates one predicate per member of the candidate set,
+   and on the Algorithm 2 threshold systems every such predicate is the
+   same [|Q ∩ members| >= threshold] count. A system is compiled once
+   into pid-indexed arrays of dense bitsets: the per-member test becomes
+   an array load plus (for threshold slices) one popcount shared across
+   every member with a structurally equal member set ("class"). The
+   compilation is cached per system value (physical equality), so the
+   repeated queries issued by SCP federated voting, the analysis
+   fixpoints and the benchmarks all hit the same compiled form. *)
+
+module D = Pid.Dense_set
+
+type entry =
+  | Absent  (** no declared slices: never satisfies Algorithm 1 *)
+  | Explicit_d of D.t array
+  | Threshold_d of { sat : bool; threshold : int; cls : int }
+      (** [sat]: the slice set is non-empty ([threshold <= |members|]);
+          [cls] indexes the shared member-set class. *)
+
+type compiled = {
+  csys : system;  (** cache key, compared physically *)
+  bound : int;  (** pids outside [0, bound) are [Absent] *)
+  entries : entry array;
+  class_sets : D.t array;  (** distinct threshold member sets *)
+  fallback : bool;
+      (** a negative pid appears somewhere: evaluate on [Pid.Set]
+          directly (dense bitsets only cover non-negative ids) *)
+}
+
+let slice_has_negative = function
+  | Slice.Explicit slices ->
+      List.exists
+        (fun s ->
+          match Pid.Set.min_elt_opt s with Some m -> m < 0 | None -> false)
+        slices
+  | Slice.Threshold { members; _ } -> (
+      match Pid.Set.min_elt_opt members with Some m -> m < 0 | None -> false)
+
+let compile sys =
+  let negative =
+    (match Pid.Map.min_binding_opt sys with
+    | Some (k, _) -> k < 0
+    | None -> false)
+    || Pid.Map.exists (fun _ s -> slice_has_negative s) sys
   in
-  fun sys i ->
-    match slices_of sys i with
-    | Slice.Threshold { members; threshold } ->
-        threshold <= Pid.Set.cardinal members
-        && inter_count members >= threshold
-    | s -> Slice.has_slice_within s q
+  if negative then
+    { csys = sys; bound = 0; entries = [||]; class_sets = [||]; fallback = true }
+  else begin
+    let bound =
+      match Pid.Map.max_binding_opt sys with Some (k, _) -> k + 1 | None -> 0
+    in
+    let entries = Array.make bound Absent in
+    let classes : (D.t, int) Hashtbl.t = Hashtbl.create 7 in
+    let class_sets = ref [] in
+    let n_classes = ref 0 in
+    let class_of d =
+      match Hashtbl.find_opt classes d with
+      | Some c -> c
+      | None ->
+          let c = !n_classes in
+          incr n_classes;
+          Hashtbl.add classes d c;
+          class_sets := d :: !class_sets;
+          c
+    in
+    Pid.Map.iter
+      (fun i slice ->
+        entries.(i) <-
+          (match slice with
+          | Slice.Explicit [] -> Absent
+          | Slice.Explicit slices ->
+              Explicit_d (Array.of_list (List.map D.of_set slices))
+          | Slice.Threshold { members; threshold } ->
+              let sat = threshold <= Pid.Set.cardinal members in
+              Threshold_d { sat; threshold; cls = class_of (D.of_set members) }))
+      sys;
+    {
+      csys = sys;
+      bound;
+      entries;
+      class_sets = Array.of_list (List.rev !class_sets);
+      fallback = false;
+    }
+  end
+
+(* Bounded most-recently-compiled cache, keyed by physical equality of
+   the system map. Sized for a simulation's worth of per-node evolving
+   slice views; a miss costs one O(system) compilation, about the price
+   of a single tree-set query. *)
+let cache : compiled list ref = ref []
+
+let cache_capacity = 64
+
+let compiled_of sys =
+  match List.find_opt (fun c -> c.csys == sys) !cache with
+  | Some c -> c
+  | None ->
+      let c = compile sys in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      cache := c :: take (cache_capacity - 1) !cache;
+      c
+
+(* The per-member test of Algorithm 1. [counts] memoizes one
+   intersection cardinality per member-set class for the duration of a
+   single candidate-set evaluation. *)
+let member_ok c counts qd i =
+  i >= 0
+  && i < c.bound
+  &&
+  match c.entries.(i) with
+  | Absent -> false
+  | Explicit_d slices ->
+      let n = Array.length slices in
+      let rec go k = k < n && (D.subset slices.(k) qd || go (k + 1)) in
+      go 0
+  | Threshold_d { sat; threshold; cls } ->
+      sat
+      && threshold
+         <=
+         (let cnt = counts.(cls) in
+          if cnt >= 0 then cnt
+          else begin
+            let cnt = D.inter_cardinal c.class_sets.(cls) qd in
+            counts.(cls) <- cnt;
+            cnt
+          end)
+
+let has_negative_member set =
+  match Pid.Set.min_elt_opt set with Some m -> m < 0 | None -> false
+
+(* Reference path kept for systems or candidates naming negative pids
+   (which the dense kernel cannot represent): Algorithm 1 verbatim. *)
+let tree_member_ok sys q i = Slice.has_slice_within (slices_of sys i) q
 
 let is_quorum sys q =
   (not (Pid.Set.is_empty q))
   &&
-  let ok = member_ok_cached q sys in
-  Pid.Set.for_all (fun i -> ok i) q
+  let c = compiled_of sys in
+  if c.fallback || has_negative_member q then
+    Pid.Set.for_all (tree_member_ok sys q) q
+  else begin
+    let qd = D.of_set q in
+    let counts = Array.make (Array.length c.class_sets) (-1) in
+    D.for_all (member_ok c counts qd) qd
+  end
 
 let is_quorum_of sys i q = Pid.Set.mem i q && is_quorum sys q
 
@@ -44,12 +168,21 @@ let greatest_quorum_within sys set =
   (* Discard members with no slice inside the current candidate until a
      fixpoint. Since the union of two quorums is a quorum, the fixpoint
      is the union of all quorums within [set]. *)
-  let rec go cur =
-    let ok = member_ok_cached cur sys in
-    let keep = Pid.Set.filter (fun i -> ok i) cur in
-    if Pid.Set.equal keep cur then cur else go keep
-  in
-  go set
+  let c = compiled_of sys in
+  if c.fallback || has_negative_member set then
+    let rec go cur =
+      let keep = Pid.Set.filter (tree_member_ok sys cur) cur in
+      if Pid.Set.equal keep cur then cur else go keep
+    in
+    go set
+  else begin
+    let rec go qd =
+      let counts = Array.make (Array.length c.class_sets) (-1) in
+      let keep = D.filter (member_ok c counts qd) qd in
+      if D.equal keep qd then qd else go keep
+    in
+    D.to_set (go (D.of_set set))
+  end
 
 let contains_quorum sys set =
   not (Pid.Set.is_empty (greatest_quorum_within sys set))

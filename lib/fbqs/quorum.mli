@@ -1,5 +1,12 @@
 (** Quorums of a Federated Byzantine Quorum System (Definition 1 and
-    Algorithm 1 of the paper). *)
+    Algorithm 1 of the paper).
+
+    The membership tests ({!is_quorum}, {!greatest_quorum_within}) run
+    on a dense bitset compilation of the system ({!Pid.Dense_set}):
+    threshold slice sets reduce to one popcount per distinct member set
+    and candidate, and compilations are cached per system value, so
+    repeated queries against the same system (SCP federated voting,
+    analysis fixpoints) pay the compilation once. See DESIGN.md §8. *)
 
 open Graphkit
 

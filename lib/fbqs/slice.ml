@@ -54,19 +54,38 @@ let enumerate = function
   | Threshold { members; threshold } as t ->
       if slice_count t > 100_000 then
         invalid_arg "Slice.enumerate: symbolic slice set too large";
-      if threshold < 0 then [ Pid.Set.empty ]
+      if threshold <= 0 then [ Pid.Set.empty ]
       else
-        let elts = Pid.Set.elements members in
-        (* All size-[threshold] subsets, by simple recursion. *)
-        let rec choose k xs =
-          if k = 0 then [ Pid.Set.empty ]
-          else
-            match xs with
-            | [] -> []
-            | x :: rest ->
-                List.map (Pid.Set.add x) (choose (k - 1) rest) @ choose k rest
-        in
-        choose threshold elts
+        let elts = Array.of_list (Pid.Set.elements members) in
+        let n = Array.length elts in
+        if threshold > n then []
+        else begin
+          (* All size-[threshold] subsets by iterating index vectors in
+             lexicographic order — the same order the old recursive
+             construction produced, without its quadratic appends. *)
+          let idx = Array.init threshold (fun j -> j) in
+          let acc = ref [] in
+          let running = ref true in
+          while !running do
+            let s = ref Pid.Set.empty in
+            for j = threshold - 1 downto 0 do
+              s := Pid.Set.add elts.(idx.(j)) !s
+            done;
+            acc := !s :: !acc;
+            let j = ref (threshold - 1) in
+            while !j >= 0 && idx.(!j) = n - threshold + !j do
+              decr j
+            done;
+            if !j < 0 then running := false
+            else begin
+              idx.(!j) <- idx.(!j) + 1;
+              for k = !j + 1 to threshold - 1 do
+                idx.(k) <- idx.(k - 1) + 1
+              done
+            end
+          done;
+          List.rev !acc
+        end
 
 let has_slice_within t q =
   match t with

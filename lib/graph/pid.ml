@@ -31,6 +31,265 @@ module Set = struct
       Some (take k (elements s))
 end
 
+module Dense_set = struct
+  (* Packed bitset over native ints: word [w], bit [b] encodes membership
+     of pid [w * bits_per_word + b]. Process ids are small non-negative
+     integers, so the universe is dense and a handful of words covers a
+     whole system; the quorum kernel then reduces to word-wise [land]
+     plus popcount. Invariant: the word array is canonical (no trailing
+     zero word), so structural equality of arrays coincides with set
+     equality and the arrays hash well as table keys. *)
+
+  let bits_per_word = Sys.int_size
+
+  type t = int array
+
+  let check_elt i =
+    if i < 0 then invalid_arg "Pid.Dense_set: negative process id"
+
+  (* Popcount via a 16-bit lookup table: the 64-bit SWAR constants do
+     not fit OCaml's 63-bit immediates, and the table is branch-free and
+     fast enough for the kernel. Words are split with logical shifts, so
+     a set bit in the (negative) sign position is counted like any
+     other. *)
+  let pop16 =
+    let naive x =
+      let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+      go 0 x
+    in
+    Bytes.init 65536 (fun i -> Char.chr (naive i))
+
+  let popcount x =
+    Char.code (Bytes.unsafe_get pop16 (x land 0xffff))
+    + Char.code (Bytes.unsafe_get pop16 ((x lsr 16) land 0xffff))
+    + Char.code (Bytes.unsafe_get pop16 ((x lsr 32) land 0xffff))
+    + Char.code (Bytes.unsafe_get pop16 (x lsr 48))
+
+  (* Number of trailing zeros of a one-bit word [b = x land (-x)]. *)
+  let ntz_of_bit b = popcount (b - 1)
+
+  let empty = [||]
+
+  let is_empty t = Array.length t = 0
+
+  let normalize a =
+    let n = ref (Array.length a) in
+    while !n > 0 && a.(!n - 1) = 0 do
+      decr n
+    done;
+    if !n = Array.length a then a else Array.sub a 0 !n
+
+  let mem i t =
+    i >= 0
+    &&
+    let w = i / bits_per_word in
+    w < Array.length t && (t.(w) lsr (i mod bits_per_word)) land 1 = 1
+
+  let add i t =
+    check_elt i;
+    let w = i / bits_per_word in
+    let bit = 1 lsl (i mod bits_per_word) in
+    let len = Array.length t in
+    if w < len then
+      if t.(w) land bit <> 0 then t
+      else begin
+        let a = Array.copy t in
+        a.(w) <- a.(w) lor bit;
+        a
+      end
+    else begin
+      let a = Array.make (w + 1) 0 in
+      Array.blit t 0 a 0 len;
+      a.(w) <- bit;
+      a
+    end
+
+  let singleton i = add i empty
+
+  let remove i t =
+    if not (mem i t) then t
+    else begin
+      let a = Array.copy t in
+      let w = i / bits_per_word in
+      a.(w) <- a.(w) land lnot (1 lsl (i mod bits_per_word));
+      normalize a
+    end
+
+  let union a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then b
+    else if lb = 0 then a
+    else begin
+      let big, small = if la >= lb then (a, b) else (b, a) in
+      let r = Array.copy big in
+      for i = 0 to Array.length small - 1 do
+        r.(i) <- r.(i) lor small.(i)
+      done;
+      r
+    end
+
+  let inter a b =
+    let l = min (Array.length a) (Array.length b) in
+    let r = Array.make l 0 in
+    for i = 0 to l - 1 do
+      r.(i) <- a.(i) land b.(i)
+    done;
+    normalize r
+
+  let diff a b =
+    let r = Array.copy a in
+    let l = min (Array.length a) (Array.length b) in
+    for i = 0 to l - 1 do
+      r.(i) <- r.(i) land lnot b.(i)
+    done;
+    normalize r
+
+  let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t
+
+  let inter_cardinal a b =
+    let l = min (Array.length a) (Array.length b) in
+    let c = ref 0 in
+    for i = 0 to l - 1 do
+      c := !c + popcount (a.(i) land b.(i))
+    done;
+    !c
+
+  let subset a b =
+    let la = Array.length a in
+    la <= Array.length b
+    &&
+    let rec go i = i >= la || (a.(i) land lnot b.(i) = 0 && go (i + 1)) in
+    go 0
+
+  let disjoint a b =
+    let l = min (Array.length a) (Array.length b) in
+    let rec go i = i >= l || (a.(i) land b.(i) = 0 && go (i + 1)) in
+    go 0
+
+  let equal (a : t) (b : t) = a = b
+
+  let iter f t =
+    for w = 0 to Array.length t - 1 do
+      let base = w * bits_per_word in
+      let x = ref t.(w) in
+      while !x <> 0 do
+        let b = !x land - !x in
+        f (base + ntz_of_bit b);
+        x := !x lxor b
+      done
+    done
+
+  let fold f t acc =
+    let acc = ref acc in
+    iter (fun i -> acc := f i !acc) t;
+    !acc
+
+  exception Found of int
+
+  let for_all p t =
+    try
+      iter (fun i -> if not (p i) then raise (Found i)) t;
+      true
+    with Found _ -> false
+
+  let exists p t =
+    try
+      iter (fun i -> if p i then raise (Found i)) t;
+      false
+    with Found _ -> true
+
+  let filter p t =
+    let r = Array.make (Array.length t) 0 in
+    iter
+      (fun i ->
+        if p i then
+          r.(i / bits_per_word) <-
+            r.(i / bits_per_word) lor (1 lsl (i mod bits_per_word)))
+      t;
+    normalize r
+
+  let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+  let to_list = elements
+
+  let of_list l =
+    List.iter check_elt l;
+    match l with
+    | [] -> empty
+    | _ ->
+        let m = List.fold_left max 0 l in
+        let r = Array.make ((m / bits_per_word) + 1) 0 in
+        List.iter
+          (fun i ->
+            r.(i / bits_per_word) <-
+              r.(i / bits_per_word) lor (1 lsl (i mod bits_per_word)))
+          l;
+        normalize r
+
+  let of_range lo hi =
+    if hi < lo then empty
+    else begin
+      check_elt lo;
+      let r = Array.make ((hi / bits_per_word) + 1) 0 in
+      for i = lo to hi do
+        r.(i / bits_per_word) <-
+          r.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+      done;
+      r
+    end
+
+  let of_set s =
+    match Set.min_elt_opt s with
+    | None -> empty
+    | Some mn ->
+        check_elt mn;
+        let m = Set.max_elt s in
+        let r = Array.make ((m / bits_per_word) + 1) 0 in
+        Set.iter
+          (fun i ->
+            r.(i / bits_per_word) <-
+              r.(i / bits_per_word) lor (1 lsl (i mod bits_per_word)))
+          s;
+        r
+
+  let to_set t = fold (fun i acc -> Set.add i acc) t Set.empty
+
+  let min_elt_opt t =
+    if is_empty t then None
+    else begin
+      let w = ref 0 in
+      while t.(!w) = 0 do
+        incr w
+      done;
+      let x = t.(!w) in
+      Some ((!w * bits_per_word) + ntz_of_bit (x land -x))
+    end
+
+  let max_elt_opt t =
+    if is_empty t then None
+    else begin
+      let w = Array.length t - 1 in
+      let x = ref t.(w) and last = ref 0 in
+      while !x <> 0 do
+        let b = !x land - !x in
+        last := ntz_of_bit b;
+        x := !x lxor b
+      done;
+      Some ((w * bits_per_word) + !last)
+    end
+
+  let choose_opt = min_elt_opt
+
+  let pp ppf t =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Format.pp_print_int)
+      (elements t)
+
+  let to_string t = Format.asprintf "%a" pp t
+end
+
 module Map = struct
   include Map.Make (Int)
 

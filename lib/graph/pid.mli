@@ -30,6 +30,87 @@ module Set : sig
       increasing order, or [None] if [cardinal s < k]. *)
 end
 
+module Dense_set : sig
+  (** Dense bitsets of process ids.
+
+      Process ids are small non-negative integers, so a whole system
+      fits in a few machine words: word [w], bit [b] encodes membership
+      of pid [w * Sys.int_size + b]. Set algebra becomes word-wise
+      [land]/[lor] plus popcount, which is what the Algorithm 1 quorum
+      kernel ([|Q ∩ members| >= threshold]) bottoms out in. Values are
+      immutable, like {!Set}. All operations raise [Invalid_argument]
+      on negative ids. *)
+
+  type t
+
+  val empty : t
+
+  val is_empty : t -> bool
+
+  val mem : int -> t -> bool
+
+  val add : int -> t -> t
+
+  val singleton : int -> t
+
+  val remove : int -> t -> t
+
+  val union : t -> t -> t
+
+  val inter : t -> t -> t
+
+  val diff : t -> t -> t
+
+  val cardinal : t -> int
+
+  val inter_cardinal : t -> t -> int
+  (** [inter_cardinal a b = cardinal (inter a b)] without materializing
+      the intersection: one fused popcount pass. This is the whole cost
+      of the symbolic quorum-membership test. *)
+
+  val subset : t -> t -> bool
+
+  val disjoint : t -> t -> bool
+
+  val equal : t -> t -> bool
+
+  val iter : (int -> unit) -> t -> unit
+  (** Ascending id order, like [Set.iter]. *)
+
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+  (** Ascending id order, like [Set.fold]. *)
+
+  val for_all : (int -> bool) -> t -> bool
+
+  val exists : (int -> bool) -> t -> bool
+
+  val filter : (int -> bool) -> t -> t
+
+  val elements : t -> int list
+  (** Ascending. *)
+
+  val to_list : t -> int list
+
+  val of_list : int list -> t
+
+  val of_range : int -> int -> t
+  (** [of_range lo hi] is [{lo, ..., hi}]; empty if [hi < lo]. *)
+
+  val of_set : Set.t -> t
+
+  val to_set : t -> Set.t
+
+  val min_elt_opt : t -> int option
+
+  val max_elt_opt : t -> int option
+
+  val choose_opt : t -> int option
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_string : t -> string
+end
+
 module Map : sig
   include Map.S with type key = t
 

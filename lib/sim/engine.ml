@@ -29,7 +29,7 @@ type 'm t = {
   mutable messages_sent : int;
   mutable messages_delivered : int;
   mutable timers_fired : int;
-  mutable sent_by : int Pid.Map.t;
+  sent_by_tbl : (Pid.t, int) Hashtbl.t;
 }
 
 and 'm ctx = { engine : 'm t; owner : Pid.t }
@@ -59,10 +59,8 @@ let send ctx dst payload =
       Hashtbl.replace t.class_counts c
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.class_counts c))
   | None -> ());
-  t.sent_by <-
-    Pid.Map.update ctx.owner
-      (fun c -> Some (1 + Option.value ~default:0 c))
-      t.sent_by;
+  Hashtbl.replace t.sent_by_tbl ctx.owner
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.sent_by_tbl ctx.owner));
   let d = Delay.delay_of t.delay ~now:t.clock ~src:ctx.owner ~dst in
   Event_queue.push t.queue ~time:(t.clock + d)
     (Deliver { src = ctx.owner; dst; payload })
@@ -85,7 +83,7 @@ let create ?pp_msg ?classify ~delay () =
     messages_sent = 0;
     messages_delivered = 0;
     timers_fired = 0;
-    sent_by = Pid.Map.empty;
+    sent_by_tbl = Hashtbl.create 32;
   }
 
 let add_node t pid behavior = Hashtbl.replace t.nodes pid behavior
@@ -96,7 +94,10 @@ let stats_of t =
     messages_delivered = t.messages_delivered;
     timers_fired = t.timers_fired;
     end_time = t.clock;
-    sent_by = t.sent_by;
+    sent_by =
+      (* materialized on demand: the per-send hot path only bumps a
+         hash-table counter *)
+      Hashtbl.fold Pid.Map.add t.sent_by_tbl Pid.Map.empty;
     sent_by_class =
       List.sort compare
         (Hashtbl.fold (fun c n acc -> (c, n) :: acc) t.class_counts []);
