@@ -65,10 +65,10 @@ let subject_inter_cardinal_tree = "inter-cardinal/tree-set n=1000"
 
 let bench_is_quorum_symbolic =
   let n = 1000 in
-  let sys = threshold_system n ((2 * n / 3) + 1) in
+  let c = Fbqs.Quorum.Compiled.compile (threshold_system n ((2 * n / 3) + 1)) in
   let q = Pid.Set.of_range 1 ((3 * n / 4) + 1) in
   Test.make ~name:subject_is_quorum_symbolic (Staged.stage (fun () ->
-      ignore (Fbqs.Quorum.is_quorum sys q)))
+      ignore (Fbqs.Quorum.Compiled.is_quorum c q)))
 
 let bench_is_quorum_tree_baseline =
   let n = 1000 in
@@ -100,16 +100,17 @@ let bench_is_quorum_explicit =
     Fbqs.Quorum.system_of_list
       (List.map (fun i -> (i, explicit)) (Pid.Set.elements members))
   in
+  let c = Fbqs.Quorum.Compiled.compile sys in
   let q = Pid.Set.of_range 1 9 in
   Test.make ~name:"is_quorum/explicit n=12 (495 slices)"
-    (Staged.stage (fun () -> ignore (Fbqs.Quorum.is_quorum sys q)))
+    (Staged.stage (fun () -> ignore (Fbqs.Quorum.Compiled.is_quorum c q)))
 
 let bench_greatest_quorum =
   let n = 200 in
-  let sys = threshold_system n ((2 * n / 3) + 1) in
+  let c = Fbqs.Quorum.Compiled.compile (threshold_system n ((2 * n / 3) + 1)) in
   let universe = Pid.Set.of_range 1 n in
   Test.make ~name:"greatest_quorum_within n=200" (Staged.stage (fun () ->
-      ignore (Fbqs.Quorum.greatest_quorum_within sys universe)))
+      ignore (Fbqs.Quorum.Compiled.greatest_quorum_within c universe)))
 
 let bench_scc =
   let g = Generators.circulant ~n:2000 ~k:3 in
@@ -224,6 +225,27 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Message/transition counts of one instrumented 4-node SCP run at a
+   fixed seed. Unlike the timing rows these are exact and
+   deterministic, so diffs in BENCH_quorum.json catch protocol
+   behaviour drift, not just performance drift. *)
+let scp_run_counters () =
+  let metrics = Obs.Metrics.create () in
+  let cfg =
+    {
+      Scp.Runner.default_cfg with
+      run = { Simkit.Run_config.default with seed = 1; metrics = Some metrics };
+    }
+  in
+  let sys = threshold_system 4 3 in
+  ignore
+    (Scp.Runner.run_cfg ~cfg ~system:sys
+       ~peers_of:(fun _ -> Pid.Set.of_range 1 4)
+       ~initial_value_of:(fun i -> Scp.Value.of_ints [ i ])
+       ~fault_of:(fun _ -> None)
+       ());
+  Obs.Json.to_string (Obs.Metrics.to_json metrics)
+
 (* [rows]: (subject, ns/run) sorted by subject. The comparisons pit the
    dense bitset kernel against the seed's tree-set path on the same
    workload; [speedup] > 1 means the dense kernel is faster. *)
@@ -262,7 +284,8 @@ let write_bench_json rows =
         (json_escape subject) (json_escape baseline) speedup
         (if i = List.length comparisons - 1 then "" else ","))
     comparisons;
-  out "  ]\n";
+  out "  ],\n";
+  out "  \"counters\": {\"scp_4node_seed1\": %s}\n" (scp_run_counters ());
   out "}\n";
   close_out oc;
   List.iter

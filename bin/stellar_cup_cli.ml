@@ -1,15 +1,18 @@
 (* stellar-cup — command-line front end.
 
-   Subcommands:
-     analyze     structural analysis of a knowledge graph (SCC, sink,
-                 k-OSR, Byzantine safety)
-     sink        run the distributed sink detector (Algorithm 3)
-     consensus   run a consensus pipeline (scp-local / scp-sd / bftcup)
-     experiment  print one experiment table (e1..e12, e4b) or all
-     dot         emit a Graphviz rendering of a generated graph
+   Noun-verb command scheme; every leaf accepts --json:
+     run                  one consensus run (--pipeline scp-sd | scp-local
+                          | bftcup), with --trace FILE and --metrics
+     sink run             the distributed sink detector (Algorithm 3)
+     graph analyze        structural analysis (SCC, sink, k-OSR, safety)
+     graph render         Graphviz rendering
+     experiment list      available experiment ids
+     experiment show ID   one experiment table (e1..e12, e4b) or 'all'
 
    Graphs are selected with --graph fig1 | fig2 | random | family plus
-   the generator parameters. *)
+   the generator parameters. Traces are JSONL streams of structured
+   events stamped with logical time only, so a fixed --seed yields a
+   byte-identical file on every invocation. *)
 
 open Graphkit
 open Cmdliner
@@ -84,82 +87,133 @@ let faulty_term =
     & info [ "faulty" ] ~docv:"IDS"
         ~doc:"Comma-separated ids of silent Byzantine processes.")
 
-(* ---- analyze ----------------------------------------------------------- *)
+let json_term =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
-let analyze spec faulty_ids =
-  let g = build_graph spec in
-  let f = spec.f in
-  let faulty = Pid.Set.of_list faulty_ids in
-  Format.printf "knowledge graph:@.%a@." Digraph.pp g;
-  Format.printf "%a@." Metrics.pp (Metrics.compute g);
-  List.iteri
-    (fun i c -> Format.printf "scc %d: %a@." i Pid.Set.pp c)
-    (Scc.components g);
-  (match Condensation.unique_sink g with
-  | Some sink ->
-      Format.printf "unique sink component: %a@." Pid.Set.pp sink;
-      Format.printf "sink connectivity: %d@."
-        (Connectivity.vertex_connectivity (Digraph.subgraph sink g))
-  | None -> Format.printf "no unique sink component@.");
-  List.iter
-    (fun k ->
-      match Properties.check_k_osr g k with
-      | Ok _ -> Format.printf "%d-OSR: yes@." k
-      | Error e ->
-          Format.printf "%d-OSR: no (%a)@." k Properties.pp_osr_failure e)
-    [ 1; f + 1; (2 * f) + 1 ];
-  if not (Pid.Set.is_empty faulty) then begin
-    Format.printf "F = %a@." Pid.Set.pp faulty;
-    Format.printf "byzantine-safe for F: %b@."
-      (Properties.is_byzantine_safe g ~f ~faulty);
-    Format.printf "solvable (Theorem 1): %b@."
-      (Properties.solvable g ~f ~faulty)
-  end
+(* ---- observability plumbing ------------------------------------------- *)
 
-(* ---- sink ------------------------------------------------------------- *)
-
-let run_sink spec faulty_ids =
-  let g = build_graph spec in
-  let faulty = Pid.Set.of_list faulty_ids in
-  let fault_of i =
-    if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
+let timing_term =
+  let d = Simkit.Run_config.default in
+  let gst =
+    Arg.(
+      value & opt int d.gst
+      & info [ "gst" ] ~docv:"T" ~doc:"Global stabilization time.")
   in
-  let r =
-    Cup.Sink_protocol.run ~seed:spec.seed ~graph:g ~f:spec.f ~fault_of ()
+  let delta =
+    Arg.(
+      value & opt int d.delta
+      & info [ "delta" ] ~docv:"T" ~doc:"Post-GST delivery bound.")
   in
-  Format.printf "messages: %d, simulated ticks: %d@." r.stats.messages_sent
-    r.stats.end_time;
-  Pid.Set.iter
-    (fun i ->
-      match Pid.Map.find_opt i r.answers with
-      | Some (a : Cup.Sink_oracle.answer) ->
-          Format.printf "%d: get_sink -> (%b, %a)@." i a.in_sink Pid.Set.pp
-            a.view
-      | None ->
-          if Pid.Set.mem i faulty then Format.printf "%d: (faulty)@." i
-          else Format.printf "%d: no answer@." i)
-    (Digraph.vertices g)
+  let max_time =
+    Arg.(
+      value & opt int d.max_time
+      & info [ "max-time" ] ~docv:"T" ~doc:"Simulation step budget.")
+  in
+  Term.(const (fun gst delta max_time -> (gst, delta, max_time))
+        $ gst $ delta $ max_time)
 
-(* ---- consensus --------------------------------------------------------- *)
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL structured-event trace to $(docv) ('-': \
+              stdout). Deterministic for a fixed --seed.")
 
-let run_consensus spec faulty_ids pipeline =
+let metrics_term =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect and print the run's metric counters.")
+
+(* A Run_config carrying the CLI's seed/timing flags plus freshly
+   created observability sinks. Returns the config and a [finish]
+   closure that flushes the trace file and hands back the JSON pieces. *)
+let configure_run spec (gst, delta, max_time) trace_path want_metrics =
+  let metrics = if want_metrics then Some (Obs.Metrics.create ()) else None in
+  let trace_buf = Option.map (fun _ -> Buffer.create 4096) trace_path in
+  let trace = Option.map Obs.Trace.to_buffer trace_buf in
+  let cfg =
+    {
+      Simkit.Run_config.seed = spec.seed;
+      gst;
+      delta;
+      max_time;
+      delay = None;
+      metrics;
+      trace;
+    }
+  in
+  let finish () =
+    (match (trace_path, trace_buf) with
+    | Some "-", Some buf -> print_string (Buffer.contents buf)
+    | Some path, Some buf ->
+        let oc = open_out path in
+        output_string oc (Buffer.contents buf);
+        close_out oc;
+        Format.eprintf "trace: wrote %d events to %s@."
+          (Option.fold ~none:0 ~some:Obs.Trace.event_count trace)
+          path
+    | _ -> ());
+    let json_fields =
+      Option.to_list
+        (Option.map (fun m -> ("metrics", Obs.Metrics.to_json m)) metrics)
+      @ Option.to_list
+          (Option.map
+             (fun p -> ("trace_file", Obs.Json.String p))
+             trace_path)
+    in
+    (json_fields, metrics)
+  in
+  (cfg, finish)
+
+let print_json j = print_endline (Obs.Json.to_string j)
+
+(* ---- run --------------------------------------------------------------- *)
+
+let verdict_json (v : Stellar_cup.Pipeline.verdict) =
+  Obs.Json.Obj
+    [
+      ("all_decided", Obs.Json.Bool v.all_decided);
+      ("agreement", Obs.Json.Bool v.agreement);
+      ("validity", Obs.Json.Bool v.validity);
+      ("deciders", Obs.Json.Int v.deciders);
+      ("discovery_msgs", Obs.Json.Int v.discovery_msgs);
+      ("consensus_msgs", Obs.Json.Int v.consensus_msgs);
+      ("total_time", Obs.Json.Int v.total_time);
+    ]
+
+let run_consensus spec faulty_ids pipeline timing trace_path want_metrics json
+    =
   let g = build_graph spec in
   let faulty = Pid.Set.of_list faulty_ids in
   let initial_value_of i = Scp.Value.of_ints [ i ] in
+  let cfg, finish = configure_run spec timing trace_path want_metrics in
   let verdict =
     match pipeline with
     | "scp-local" ->
-        Stellar_cup.Pipeline.scp_with_local_slices ~seed:spec.seed ~graph:g
-          ~f:spec.f ~faulty ~initial_value_of ()
+        Stellar_cup.Pipeline.scp_with_local_slices ~cfg ~graph:g ~f:spec.f
+          ~faulty ~initial_value_of ()
     | "scp-sd" ->
-        Stellar_cup.Pipeline.scp_with_sink_detector ~seed:spec.seed ~graph:g
-          ~f:spec.f ~faulty ~initial_value_of ()
+        Stellar_cup.Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f:spec.f
+          ~faulty ~initial_value_of ()
     | "bftcup" ->
-        Stellar_cup.Pipeline.bftcup ~seed:spec.seed ~graph:g ~f:spec.f ~faulty
+        Stellar_cup.Pipeline.bftcup ~cfg ~graph:g ~f:spec.f ~faulty
           ~initial_value_of ()
     | other -> failwith (Printf.sprintf "unknown pipeline %S" other)
   in
-  Format.printf "%s: %a@." pipeline Stellar_cup.Pipeline.pp_verdict verdict
+  let obs_fields, metrics = finish () in
+  if json then
+    print_json
+      (Obs.Json.Obj
+         (("pipeline", Obs.Json.String pipeline)
+          :: ("seed", Obs.Json.Int spec.seed)
+          :: ("verdict", verdict_json verdict)
+          :: obs_fields))
+  else begin
+    Format.printf "%s: %a@." pipeline Stellar_cup.Pipeline.pp_verdict verdict;
+    Option.iter (Format.printf "%a@." Obs.Metrics.pp) metrics
+  end
 
 let pipeline_term =
   Arg.(
@@ -169,61 +223,232 @@ let pipeline_term =
         ~doc:"Consensus stack: scp-local (Theorem 2 strawman), scp-sd \
               (Corollary 2) or bftcup (baseline).")
 
-(* ---- experiment -------------------------------------------------------- *)
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run one consensus instance end to end (with optional \
+             structured trace and metrics)")
+    Term.(
+      const run_consensus $ graph_term $ faulty_term $ pipeline_term
+      $ timing_term $ trace_term $ metrics_term $ json_term)
 
-let run_experiment which markdown =
-  let tables =
-    match which with
-    | "all" -> Stellar_cup.Experiments.all ()
-    | "e1" -> [ Stellar_cup.Experiments.e1_fig1_example () ]
-    | "e2" -> [ Stellar_cup.Experiments.e2_is_quorum () ]
-    | "e3" -> [ Stellar_cup.Experiments.e3_theorem2_violation () ]
-    | "e4" -> [ Stellar_cup.Experiments.e4_algorithm2_intertwined () ]
-    | "e4b" -> [ Stellar_cup.Experiments.e4b_threshold_ablation () ]
-    | "e5" -> [ Stellar_cup.Experiments.e5_availability () ]
-    | "e6" -> [ Stellar_cup.Experiments.e6_sink_detector () ]
-    | "e7" -> [ Stellar_cup.Experiments.e7_reachable_broadcast () ]
-    | "e8" -> [ Stellar_cup.Experiments.e8_pipelines () ]
-    | "e9" -> [ Stellar_cup.Experiments.e9_graph_machinery () ]
-    | "e10" -> [ Stellar_cup.Experiments.e10_restricted_oracle () ]
-    | "e11" -> [ Stellar_cup.Experiments.e11_gst_sweep () ]
-    | "e12" -> [ Stellar_cup.Experiments.e12_nomination_ablation () ]
-    | other -> failwith (Printf.sprintf "unknown experiment %S" other)
+(* ---- sink run ---------------------------------------------------------- *)
+
+let run_sink spec faulty_ids timing trace_path want_metrics json =
+  let g = build_graph spec in
+  let faulty = Pid.Set.of_list faulty_ids in
+  let fault_of i =
+    if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
   in
-  if markdown then
-    List.iter (fun t -> print_string (Stellar_cup.Report.to_markdown t)) tables
-  else List.iter Stellar_cup.Report.print tables
+  let cfg, finish = configure_run spec timing trace_path want_metrics in
+  let r = Cup.Sink_protocol.run_cfg ~cfg ~graph:g ~f:spec.f ~fault_of () in
+  let obs_fields, metrics = finish () in
+  if json then begin
+    let answers =
+      List.filter_map
+        (fun i ->
+          Option.map
+            (fun (a : Cup.Sink_oracle.answer) ->
+              Obs.Json.Obj
+                [
+                  ("node", Obs.Json.Int i);
+                  ("in_sink", Obs.Json.Bool a.in_sink);
+                  ( "view",
+                    Obs.Json.List
+                      (List.map
+                         (fun j -> Obs.Json.Int j)
+                         (Pid.Set.elements a.view)) );
+                ])
+            (Pid.Map.find_opt i r.answers))
+        (Pid.Set.elements (Digraph.vertices g))
+    in
+    print_json
+      (Obs.Json.Obj
+         (("messages", Obs.Json.Int r.stats.messages_sent)
+          :: ("ticks", Obs.Json.Int r.stats.end_time)
+          :: ("answers", Obs.Json.List answers)
+          :: obs_fields))
+  end
+  else begin
+    Format.printf "messages: %d, simulated ticks: %d@." r.stats.messages_sent
+      r.stats.end_time;
+    Pid.Set.iter
+      (fun i ->
+        match Pid.Map.find_opt i r.answers with
+        | Some (a : Cup.Sink_oracle.answer) ->
+            Format.printf "%d: get_sink -> (%b, %a)@." i a.in_sink Pid.Set.pp
+              a.view
+        | None ->
+            if Pid.Set.mem i faulty then Format.printf "%d: (faulty)@." i
+            else Format.printf "%d: no answer@." i)
+      (Digraph.vertices g);
+    Option.iter (Format.printf "%a@." Obs.Metrics.pp) metrics
+  end
 
-(* ---- dot --------------------------------------------------------------- *)
+let sink_run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the distributed sink detector (Algorithm 3)")
+    Term.(
+      const run_sink $ graph_term $ faulty_term $ timing_term $ trace_term
+      $ metrics_term $ json_term)
 
-let emit_dot spec faulty_ids output =
+let sink_cmd =
+  Cmd.group
+    (Cmd.info "sink" ~doc:"Sink-detector operations")
+    [ sink_run_cmd ]
+
+(* ---- graph analyze ----------------------------------------------------- *)
+
+let analyze spec faulty_ids json =
+  let g = build_graph spec in
+  let f = spec.f in
+  let faulty = Pid.Set.of_list faulty_ids in
+  let sccs = Scc.components g in
+  let sink = Condensation.unique_sink g in
+  let osr_ks = [ 1; f + 1; (2 * f) + 1 ] in
+  if json then begin
+    let pid_list s =
+      Obs.Json.List (List.map (fun i -> Obs.Json.Int i) (Pid.Set.elements s))
+    in
+    let fields =
+      [
+        ("vertices", pid_list (Digraph.vertices g));
+        ("sccs", Obs.Json.List (List.map pid_list sccs));
+        ("sink", Option.fold ~none:Obs.Json.Null ~some:pid_list sink);
+        ( "k_osr",
+          Obs.Json.Obj
+            (List.map
+               (fun k ->
+                 (string_of_int k, Obs.Json.Bool (Properties.is_k_osr g k)))
+               osr_ks) );
+      ]
+      @
+      if Pid.Set.is_empty faulty then []
+      else
+        [
+          ("faulty", pid_list faulty);
+          ( "byzantine_safe",
+            Obs.Json.Bool (Properties.is_byzantine_safe g ~f ~faulty) );
+          ("solvable", Obs.Json.Bool (Properties.solvable g ~f ~faulty));
+        ]
+    in
+    print_json (Obs.Json.Obj fields)
+  end
+  else begin
+    Format.printf "knowledge graph:@.%a@." Digraph.pp g;
+    Format.printf "%a@." Metrics.pp (Metrics.compute g);
+    List.iteri
+      (fun i c -> Format.printf "scc %d: %a@." i Pid.Set.pp c)
+      sccs;
+    (match sink with
+    | Some sink ->
+        Format.printf "unique sink component: %a@." Pid.Set.pp sink;
+        Format.printf "sink connectivity: %d@."
+          (Connectivity.vertex_connectivity (Digraph.subgraph sink g))
+    | None -> Format.printf "no unique sink component@.");
+    List.iter
+      (fun k ->
+        match Properties.check_k_osr g k with
+        | Ok _ -> Format.printf "%d-OSR: yes@." k
+        | Error e ->
+            Format.printf "%d-OSR: no (%a)@." k Properties.pp_osr_failure e)
+      osr_ks;
+    if not (Pid.Set.is_empty faulty) then begin
+      Format.printf "F = %a@." Pid.Set.pp faulty;
+      Format.printf "byzantine-safe for F: %b@."
+        (Properties.is_byzantine_safe g ~f ~faulty);
+      Format.printf "solvable (Theorem 1): %b@."
+        (Properties.solvable g ~f ~faulty)
+    end
+  end
+
+let graph_analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyse a knowledge-connectivity graph")
+    Term.(const analyze $ graph_term $ faulty_term $ json_term)
+
+(* ---- graph render ------------------------------------------------------ *)
+
+let render spec faulty_ids output json =
   let g = build_graph spec in
   let faulty = Pid.Set.of_list faulty_ids in
   let highlight =
     Option.value ~default:Pid.Set.empty (Condensation.unique_sink g)
   in
+  let dot = Dot.to_dot ~highlight ~faulty g in
+  if json then
+    print_json
+      (Obs.Json.Obj
+         [
+           ("dot", Obs.Json.String dot);
+           ( "output",
+             if output = "-" then Obs.Json.Null else Obs.Json.String output );
+         ])
+  else ();
   match output with
-  | "-" -> print_string (Dot.to_dot ~highlight ~faulty g)
+  | "-" -> if not json then print_string dot
   | path ->
       Dot.to_file ~highlight ~faulty path g;
-      Format.printf "wrote %s@." path
+      if not json then Format.printf "wrote %s@." path
 
-(* ---- command wiring ---------------------------------------------------- *)
-
-let analyze_cmd =
-  Cmd.v (Cmd.info "analyze" ~doc:"Analyse a knowledge-connectivity graph")
-    Term.(const analyze $ graph_term $ faulty_term)
-
-let sink_cmd =
+let graph_render_cmd =
+  let output =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output path ('-': stdout).")
+  in
   Cmd.v
-    (Cmd.info "sink" ~doc:"Run the distributed sink detector (Algorithm 3)")
-    Term.(const run_sink $ graph_term $ faulty_term)
+    (Cmd.info "render" ~doc:"Emit a Graphviz rendering")
+    Term.(const render $ graph_term $ faulty_term $ output $ json_term)
 
-let consensus_cmd =
-  Cmd.v (Cmd.info "consensus" ~doc:"Run a consensus pipeline")
-    Term.(const run_consensus $ graph_term $ faulty_term $ pipeline_term)
+let graph_cmd =
+  Cmd.group
+    (Cmd.info "graph" ~doc:"Knowledge-graph operations")
+    [ graph_analyze_cmd; graph_render_cmd ]
 
-let experiment_cmd =
+(* ---- experiment -------------------------------------------------------- *)
+
+let experiments : (string * (unit -> Stellar_cup.Report.t)) list =
+  [
+    ("e1", Stellar_cup.Experiments.e1_fig1_example);
+    ("e2", fun () -> Stellar_cup.Experiments.e2_is_quorum ());
+    ("e3", fun () -> Stellar_cup.Experiments.e3_theorem2_violation ());
+    ("e4", fun () -> Stellar_cup.Experiments.e4_algorithm2_intertwined ());
+    ("e4b", Stellar_cup.Experiments.e4b_threshold_ablation);
+    ("e5", fun () -> Stellar_cup.Experiments.e5_availability ());
+    ("e6", fun () -> Stellar_cup.Experiments.e6_sink_detector ());
+    ("e7", fun () -> Stellar_cup.Experiments.e7_reachable_broadcast ());
+    ("e8", fun () -> Stellar_cup.Experiments.e8_pipelines ());
+    ("e9", fun () -> Stellar_cup.Experiments.e9_graph_machinery ());
+    ("e10", fun () -> Stellar_cup.Experiments.e10_restricted_oracle ());
+    ("e11", fun () -> Stellar_cup.Experiments.e11_gst_sweep ());
+    ("e12", fun () -> Stellar_cup.Experiments.e12_nomination_ablation ());
+  ]
+
+let experiment_show which markdown json =
+  let tables =
+    match which with
+    | "all" -> List.map (fun (_, k) -> k ()) experiments
+    | id -> (
+        match List.assoc_opt id experiments with
+        | Some k -> [ k () ]
+        | None -> failwith (Printf.sprintf "unknown experiment %S" id))
+  in
+  if json then
+    print_json
+      (Obs.Json.List (List.map Stellar_cup.Report.to_json tables))
+  else if markdown then
+    List.iter (fun t -> print_string (Stellar_cup.Report.to_markdown t)) tables
+  else List.iter Stellar_cup.Report.print tables
+
+let experiment_list json =
+  if json then
+    print_json
+      (Obs.Json.List
+         (List.map (fun (id, _) -> Obs.Json.String id) experiments))
+  else List.iter (fun (id, _) -> print_endline id) experiments
+
+let experiment_show_cmd =
   let which =
     Arg.(
       value & pos 0 string "all"
@@ -232,17 +457,21 @@ let experiment_cmd =
   let markdown =
     Arg.(value & flag & info [ "markdown" ] ~doc:"Emit Markdown tables.")
   in
-  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper artifact")
-    Term.(const run_experiment $ which $ markdown)
+  Cmd.v
+    (Cmd.info "show" ~doc:"Regenerate a paper artifact")
+    Term.(const experiment_show $ which $ markdown $ json_term)
 
-let dot_cmd =
-  let output =
-    Arg.(
-      value & opt string "-"
-      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output path ('-': stdout).")
-  in
-  Cmd.v (Cmd.info "dot" ~doc:"Emit a Graphviz rendering")
-    Term.(const emit_dot $ graph_term $ faulty_term $ output)
+let experiment_list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available experiment ids")
+    Term.(const experiment_list $ json_term)
+
+let experiment_cmd =
+  Cmd.group
+    (Cmd.info "experiment" ~doc:"Paper-artifact experiments")
+    [ experiment_show_cmd; experiment_list_cmd ]
+
+(* ---- command wiring ---------------------------------------------------- *)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -254,4 +483,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ analyze_cmd; sink_cmd; consensus_cmd; experiment_cmd; dot_cmd ]))
+          [ run_cmd; sink_cmd; graph_cmd; experiment_cmd ]))

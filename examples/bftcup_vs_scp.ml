@@ -23,12 +23,15 @@ let () =
         in
         let faulty = Generators.random_faulty_set ~seed ~f g in
         let initial_value_of i = Scp.Value.of_ints [ i ] in
+        let cfg =
+          Simkit.Run_config.with_seed seed Simkit.Run_config.default
+        in
         let scp =
-          Stellar_cup.Pipeline.scp_with_sink_detector ~seed ~graph:g ~f
-            ~faulty ~initial_value_of ()
+          Stellar_cup.Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f ~faulty
+            ~initial_value_of ()
         in
         let bft =
-          Stellar_cup.Pipeline.bftcup ~seed ~graph:g ~f ~faulty
+          Stellar_cup.Pipeline.bftcup ~cfg ~graph:g ~f ~faulty
             ~initial_value_of ()
         in
         let row name (v : Stellar_cup.Pipeline.verdict) =

@@ -56,7 +56,9 @@ let () =
 
   section "Act II: slices via the sink detector (Algorithms 2 + 3)";
   let verdict =
-    Stellar_cup.Pipeline.scp_with_sink_detector ~seed:2 ~graph:g ~f
+    Stellar_cup.Pipeline.scp_with_sink_detector
+      ~cfg:(Simkit.Run_config.with_seed 2 Simkit.Run_config.default)
+      ~graph:g ~f
       ~faulty:(Pid.Set.singleton 4)
       ~initial_value_of:(fun i -> Scp.Value.of_ints [ 100 + i ])
       ()

@@ -91,9 +91,10 @@ let e2_is_quorum ?(seed = 7) () =
            (fun i -> (i, Fbqs.Slice.threshold ~members ~threshold:t))
            (Pid.Set.elements members))
     in
-    let full_is_quorum = Fbqs.Quorum.is_quorum sys members in
+    let compiled = Fbqs.Quorum.Compiled.compile sys in
+    let full_is_quorum = Fbqs.Quorum.Compiled.is_quorum compiled members in
     let small_is_not =
-      not (Fbqs.Quorum.is_quorum sys (Pid.Set.of_range 1 (t - 1)))
+      not (Fbqs.Quorum.Compiled.is_quorum compiled (Pid.Set.of_range 1 (t - 1)))
     in
     [
       string_of_int n;
@@ -123,9 +124,17 @@ let live_violation ~seed ~graph ~sink_size ~f =
   let initial_value_of i =
     Scp.Value.of_ints [ (if sink_side i then 100 else 200) ]
   in
+  let cfg =
+    {
+      Simkit.Run_config.default with
+      seed;
+      max_time = 120_000;
+      delay = Some delay;
+    }
+  in
   let v =
-    Pipeline.scp_with_local_slices ~seed ~max_time:120_000 ~delay ~graph ~f
-      ~faulty:Pid.Set.empty ~initial_value_of ()
+    Pipeline.scp_with_local_slices ~cfg ~graph ~f ~faulty:Pid.Set.empty
+      ~initial_value_of ()
   in
   v.all_decided && not v.agreement
 
@@ -455,12 +464,15 @@ let e8_pipelines ?(seed = 6) ?(samples = 3) () =
                 string_of_int v.total_time;
               ]
             in
+            let cfg =
+              Simkit.Run_config.with_seed (seed + k) Simkit.Run_config.default
+            in
             [
               run "SCP + sink detector" (fun () ->
-                  Pipeline.scp_with_sink_detector ~seed:(seed + k) ~graph:g ~f
-                    ~faulty ~initial_value_of:own_value ());
+                  Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f ~faulty
+                    ~initial_value_of:own_value ());
               run "BFT-CUP" (fun () ->
-                  Pipeline.bftcup ~seed:(seed + k) ~graph:g ~f ~faulty
+                  Pipeline.bftcup ~cfg ~graph:g ~f ~faulty
                     ~initial_value_of:own_value ());
             ])
           (List.init samples (fun i -> i)))
@@ -580,9 +592,12 @@ let e11_gst_sweep ?(seed = 10) ?(samples = 2) () =
                 ~sink_size:5 ~non_sink:3 ()
             in
             let faulty = Generators.random_faulty_set ~seed:(seed + k) ~f g in
+            let cfg =
+              { Simkit.Run_config.default with seed = seed + k; gst; delta = 5 }
+            in
             let v =
-              Pipeline.scp_with_sink_detector ~seed:(seed + k) ~gst ~delta:5
-                ~graph:g ~f ~faulty ~initial_value_of:own_value ()
+              Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f ~faulty
+                ~initial_value_of:own_value ()
             in
             [
               string_of_int gst;

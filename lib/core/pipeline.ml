@@ -28,7 +28,10 @@ let of_scp_outcome ?(discovery_msgs = 0) ?(discovery_time = 0)
     total_time = discovery_time + o.stats.end_time;
   }
 
-let scp_with_local_slices ?seed ?gst ?delta ?max_time ?delay ?rule ~graph ~f
+let scp_cfg cfg =
+  { Scp.Runner.default_cfg with run = cfg }
+
+let scp_with_local_slices ?(cfg = Simkit.Run_config.default) ?rule ~graph ~f
     ~faulty ~initial_value_of () =
   let rule = Option.value ~default:Cup.Local_slices.all_but_one rule in
   let pd = Cup.Participant_detector.of_graph ~f graph in
@@ -38,18 +41,16 @@ let scp_with_local_slices ?seed ?gst ?delta ?max_time ?delay ?rule ~graph ~f
     if Pid.Set.mem i faulty then Some Scp.Runner.Silent else None
   in
   of_scp_outcome
-    (Scp.Runner.run ?seed ?gst ?delta ?max_time ?delay ~system ~peers_of
+    (Scp.Runner.run_cfg ~cfg:(scp_cfg cfg) ~system ~peers_of
        ~initial_value_of ~fault_of ())
 
-let scp_with_sink_detector ?(seed = 0) ?gst ?delta ?max_time
+let scp_with_sink_detector ?(cfg = Simkit.Run_config.default)
     ?nonsink_threshold ~graph ~f ~faulty ~initial_value_of () =
   (* Stage 1: the knowledge-increasing protocol (Algorithm 3). *)
   let fault_of i =
     if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
   in
-  let discovery =
-    Cup.Sink_protocol.run ~seed ?gst ?delta ?max_time ~graph ~f ~fault_of ()
-  in
+  let discovery = Cup.Sink_protocol.run_cfg ~cfg ~graph ~f ~fault_of () in
   (* Stage 2: Algorithm 2 slices from each process's own answer. *)
   let slices_of_answer (a : Cup.Sink_oracle.answer) =
     match (a.in_sink, nonsink_threshold) with
@@ -72,9 +73,11 @@ let scp_with_sink_detector ?(seed = 0) ?gst ?delta ?max_time
     else None
   in
   let verdict =
+    (* Stage 2 gets a distinct stream of delivery delays. *)
+    let scp_run = Simkit.Run_config.with_seed (cfg.seed + 1) cfg in
     of_scp_outcome ~discovery_msgs:discovery.stats.messages_sent
       ~discovery_time:discovery.stats.end_time
-      (Scp.Runner.run ~seed:(seed + 1) ?gst ?delta ?max_time ~system ~peers_of
+      (Scp.Runner.run_cfg ~cfg:(scp_cfg scp_run) ~system ~peers_of
          ~initial_value_of ~fault_of:scp_fault_of ())
   in
   (* "All decided" must cover every correct process of the graph, not
@@ -85,11 +88,12 @@ let scp_with_sink_detector ?(seed = 0) ?gst ?delta ?max_time
   in
   { verdict with all_decided = verdict.all_decided && discovery_complete }
 
-let bftcup ?seed ?gst ?delta ?max_time ~graph ~f ~faulty ~initial_value_of ()
-    =
+let bftcup ?(cfg = Simkit.Run_config.default) ~graph ~f ~faulty
+    ~initial_value_of () =
   let o =
-    Bftcup.Protocol.run ?seed ?gst ?delta ?max_time ~graph ~f
-      ~initial_value_of ~faulty ()
+    Bftcup.Protocol.run ~seed:cfg.Simkit.Run_config.seed ~gst:cfg.gst
+      ~delta:cfg.delta ~max_time:cfg.max_time ~graph ~f ~initial_value_of
+      ~faulty ()
   in
   {
     all_decided = o.all_decided;

@@ -13,7 +13,11 @@
       dissemination. Solves consensus from [PD_i] and [f] alone.
 
     All three report the same outcome shape so experiments can tabulate
-    them side by side. *)
+    them side by side, and all three take one {!Simkit.Run_config.t}
+    carrying the seed, timing model and observability sinks. Multi-stage
+    stacks reuse the same config for every stage (the SCP stage of
+    {!scp_with_sink_detector} reseeds with [seed + 1] so the two stages
+    draw distinct delay streams). *)
 
 open Graphkit
 
@@ -30,11 +34,7 @@ type verdict = {
 val pp_verdict : Format.formatter -> verdict -> unit
 
 val scp_with_local_slices :
-  ?seed:int ->
-  ?gst:int ->
-  ?delta:int ->
-  ?max_time:int ->
-  ?delay:Simkit.Delay.t ->
+  ?cfg:Simkit.Run_config.t ->
   ?rule:(Cup.Participant_detector.t -> Pid.t -> Fbqs.Slice.t) ->
   graph:Digraph.t ->
   f:int ->
@@ -44,10 +44,7 @@ val scp_with_local_slices :
   verdict
 
 val scp_with_sink_detector :
-  ?seed:int ->
-  ?gst:int ->
-  ?delta:int ->
-  ?max_time:int ->
+  ?cfg:Simkit.Run_config.t ->
   ?nonsink_threshold:int ->
   graph:Digraph.t ->
   f:int ->
@@ -59,13 +56,12 @@ val scp_with_sink_detector :
     (default [f + 1]) for the ablation study. *)
 
 val bftcup :
-  ?seed:int ->
-  ?gst:int ->
-  ?delta:int ->
-  ?max_time:int ->
+  ?cfg:Simkit.Run_config.t ->
   graph:Digraph.t ->
   f:int ->
   faulty:Pid.Set.t ->
   initial_value_of:(Pid.t -> Scp.Value.t) ->
   unit ->
   verdict
+(** The BFT-CUP stack does not yet thread observability sinks through
+    its internal stages; only the timing fields of [cfg] apply. *)

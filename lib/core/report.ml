@@ -53,3 +53,14 @@ let to_markdown t =
   Buffer.contents buf
 
 let print t = Format.printf "%a@." pp t
+
+let to_json t =
+  let strings l = Obs.Json.List (List.map (fun s -> Obs.Json.String s) l) in
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.String t.id);
+      ("title", Obs.Json.String t.title);
+      ("header", strings t.header);
+      ("rows", Obs.Json.List (List.map strings t.rows));
+      ("notes", strings t.notes);
+    ]

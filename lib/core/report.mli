@@ -24,3 +24,7 @@ val to_markdown : t -> string
 
 val print : t -> unit
 (** [pp] to stdout followed by a blank line. *)
+
+val to_json : t -> Obs.Json.t
+(** [{"id", "title", "header", "rows", "notes"}] — every cell a string,
+    exactly as rendered. *)

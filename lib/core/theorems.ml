@@ -33,7 +33,8 @@ let theorem3_closed_form ~sink_size ~f =
   (2 * t) - sink_size > f
 
 let theorem4_holds ~f:_ ~correct sys =
-  Pid.Set.subset correct (Fbqs.Quorum.greatest_quorum_within sys correct)
+  let c = Fbqs.Quorum.Compiled.compile sys in
+  Pid.Set.subset correct (Fbqs.Quorum.Compiled.greatest_quorum_within c correct)
 
 let theorem5_holds ~f ~correct sys =
   theorem4_holds ~f ~correct sys && theorem3_holds ~f sys correct

@@ -12,19 +12,28 @@ type t = {
   f : int;
   max_copies : int;
   states : (Pid.t, origin_state) Hashtbl.t;
+  c_broadcasts : Obs.Metrics.counter option;
+  c_relays : Obs.Metrics.counter option;
+  c_deliveries : Obs.Metrics.counter option;
 }
 
-let create ~self ~neighbors ~f ?max_copies_per_origin () =
+let create ~self ~neighbors ~f ?max_copies_per_origin ?metrics () =
   let max_copies =
     Option.value ~default:(4 * (f + 1)) max_copies_per_origin
   in
+  let c name = Option.map (fun r -> Obs.Metrics.counter r name) metrics in
   {
     self;
     neighbors = Pid.Set.remove self neighbors;
     f;
     max_copies;
     states = Hashtbl.create 8;
+    c_broadcasts = c "rbcast_broadcasts";
+    c_relays = c "rbcast_relays";
+    c_deliveries = c "rbcast_deliveries";
   }
+
+let bump = function Some c -> Obs.Metrics.incr c | None -> ()
 
 let state_for t origin =
   match Hashtbl.find_opt t.states origin with
@@ -35,6 +44,7 @@ let state_for t origin =
       s
 
 let broadcast t ~send =
+  bump t.c_broadcasts;
   (* The origin trivially "delivers" its own broadcast. *)
   (state_for t t.self).delivered <- true;
   Pid.Set.iter
@@ -93,6 +103,7 @@ let on_get_sink t ~send ~src ~origin ~path =
       (* Relay with ourselves appended, respecting the traffic cap. *)
       if st.forwarded < t.max_copies then begin
         st.forwarded <- st.forwarded + 1;
+        bump t.c_relays;
         let extended = path @ [ t.self ] in
         Pid.Set.iter
           (fun j ->
@@ -103,6 +114,7 @@ let on_get_sink t ~send ~src ~origin ~path =
     end;
     if (not st.delivered) && delivery_rule t st ~src ~origin then begin
       st.delivered <- true;
+      bump t.c_deliveries;
       Some origin
     end
     else None

@@ -24,12 +24,15 @@ val create :
   neighbors:Pid.Set.t ->
   f:int ->
   ?max_copies_per_origin:int ->
+  ?metrics:Obs.Metrics.t ->
   unit ->
   t
 (** [max_copies_per_origin] caps how many distinct copies of the same
     origin's flood a relayer forwards (default [4 * (f + 1)]); the cap
     bounds Dolev flooding's worst-case exponential traffic while leaving
-    enough path diversity for delivery in practice. *)
+    enough path diversity for delivery in practice. [metrics] counts
+    flood fan-out ([rbcast_broadcasts], [rbcast_relays],
+    [rbcast_deliveries]). *)
 
 val broadcast : t -> send:(Pid.t -> Msg.t -> unit) -> unit
 (** Starts a GET_SINK flood with this process as origin. *)

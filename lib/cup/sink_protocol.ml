@@ -8,6 +8,10 @@ type node_state = {
   f : int;
   knowledge : Knowledge.t;
   rb : Rbcast.t;
+  trace : Obs.Trace.sink option;
+  c_know : Obs.Metrics.counter option;
+  c_replies : Obs.Metrics.counter option;
+  c_resolved : Obs.Metrics.counter option;
   mutable asked : Pid.Set.t;
   mutable answered : Pid.Set.t;
   mutable replies : Pid.Set.t Pid.Map.t;  (* responder -> claimed sink *)
@@ -15,18 +19,33 @@ type node_state = {
   mutable reported : bool;
 }
 
-let make_state ~self ~pd ~f ?max_copies_per_origin () =
+let make_state ~self ~pd ~f ?max_copies_per_origin ?metrics ?trace () =
+  let c name = Option.map (fun r -> Obs.Metrics.counter r name) metrics in
   {
     self;
     f;
     knowledge = Knowledge.create ~self ~pd ~f;
-    rb = Rbcast.create ~self ~neighbors:pd ~f ?max_copies_per_origin ();
+    rb =
+      Rbcast.create ~self ~neighbors:pd ~f ?max_copies_per_origin ?metrics ();
+    trace;
+    c_know = c "cup_know_received";
+    c_replies = c "cup_sink_replies";
+    c_resolved = c "cup_sinks_resolved";
     asked = Pid.Set.empty;
     answered = Pid.Set.empty;
     replies = Pid.Map.empty;
     sink = None;
     reported = false;
   }
+
+let bump = function Some c -> Obs.Metrics.incr c | None -> ()
+
+let obs_event st ctx name fields =
+  match st.trace with
+  | None -> ()
+  | Some sink ->
+      Obs.Trace.emit sink ~time:(Engine.now ctx) ~scope:"cup" ~name
+        (("node", Obs.Json.Int st.self) :: fields)
 
 let sender ctx j m = Engine.send ctx j m
 
@@ -47,6 +66,12 @@ let report st ctx ~on_result =
   match st.sink with
   | Some v when not st.reported ->
       st.reported <- true;
+      bump st.c_resolved;
+      obs_event st ctx "sink_resolved"
+        [
+          ("in_sink", Obs.Json.Bool (Pid.Set.mem st.self v));
+          ("view_size", Obs.Json.Int (Pid.Set.cardinal v));
+        ];
       on_result st.self
         { Sink_oracle.in_sink = Pid.Set.mem st.self v; view = v };
       flush_asked st ctx
@@ -79,9 +104,9 @@ let check_sink_primitive st =
       | Some v -> st.sink <- Some v
       | None -> ())
 
-let honest ~self ~pd ~f ?max_copies_per_origin ~on_result () :
+let honest ~self ~pd ~f ?max_copies_per_origin ?metrics ?trace ~on_result () :
     Msg.t Engine.behavior =
-  let st = make_state ~self ~pd ~f ?max_copies_per_origin () in
+  let st = make_state ~self ~pd ~f ?max_copies_per_origin ?metrics ?trace () in
   let on_start ctx =
     Knowledge.start st.knowledge ~send:(sender ctx);
     Rbcast.broadcast st.rb ~send:(sender ctx)
@@ -91,13 +116,19 @@ let honest ~self ~pd ~f ?max_copies_per_origin ~on_result () :
     | Know_request ->
         Knowledge.on_know_request st.knowledge ~send:(sender ctx) ~src
     | Know view ->
+        bump st.c_know;
         Knowledge.on_know st.knowledge ~send:(sender ctx) ~src view;
         check_sink_primitive st
     | Get_sink { origin; path } -> (
-        match Rbcast.on_get_sink st.rb ~send:(sender ctx) ~src ~origin ~path with
-        | Some origin -> st.asked <- Pid.Set.add origin st.asked
+        match
+          Rbcast.on_get_sink st.rb ~send:(sender ctx) ~src ~origin ~path
+        with
+        | Some origin ->
+            obs_event st ctx "rb_deliver" [ ("origin", Obs.Json.Int origin) ];
+            st.asked <- Pid.Set.add origin st.asked
         | None -> ())
     | Sink_reply v ->
+        bump st.c_replies;
         st.replies <- Pid.Map.add src v st.replies;
         check_replies st);
     report st ctx ~on_result;
@@ -126,7 +157,8 @@ let faulty ~self ~pd ~f ?max_copies_per_origin fault : Msg.t Engine.behavior =
         match m with
         | Know_request ->
             Knowledge.on_know_request st.knowledge ~send:(sender ctx) ~src
-        | Know view -> Knowledge.on_know st.knowledge ~send:(sender ctx) ~src view
+        | Know view ->
+            Knowledge.on_know st.knowledge ~send:(sender ctx) ~src view
         | Get_sink { origin; path } ->
             (* Relay honestly to stay plausible, but lie eagerly to any
                origin whose request we merely glimpse. *)
@@ -173,10 +205,10 @@ type run_result = {
   stats : Engine.stats;
 }
 
-let run ?(seed = 0) ?(gst = 50) ?(delta = 10) ?(max_time = 100_000)
-    ?max_copies_per_origin ~graph ~f ~fault_of () =
-  let delay = Delay.partial_synchrony ~gst ~delta ~seed in
-  let engine = Engine.create ~pp_msg:Msg.pp ~delay () in
+let run_cfg ?(cfg = Run_config.default) ?max_copies_per_origin ~graph ~f
+    ~fault_of () =
+  let metrics = cfg.Run_config.metrics and trace = cfg.Run_config.trace in
+  let engine = Engine.create_cfg ~pp_msg:Msg.pp cfg in
   let answers = ref Pid.Map.empty in
   let correct = ref Pid.Set.empty in
   let on_result pid answer =
@@ -192,10 +224,26 @@ let run ?(seed = 0) ?(gst = 50) ?(delta = 10) ?(max_time = 100_000)
       | None ->
           correct := Pid.Set.add i !correct;
           Engine.add_node engine i
-            (honest ~self:i ~pd ~f ?max_copies_per_origin ~on_result ()))
+            (honest ~self:i ~pd ~f ?max_copies_per_origin ?metrics ?trace
+               ~on_result ()))
     (Digraph.vertices graph);
   let all_done () =
     Pid.Set.for_all (fun i -> Pid.Map.mem i !answers) !correct
   in
-  let stats = Engine.run ~max_time ~stop:all_done engine in
+  let stats = Engine.run ~stop:all_done engine in
   { answers = !answers; stats }
+
+let run ?(seed = 0) ?(gst = 50) ?(delta = 10) ?(max_time = 100_000)
+    ?max_copies_per_origin ?metrics ?trace ~graph ~f ~fault_of () =
+  let cfg =
+    {
+      Run_config.seed;
+      gst;
+      delta;
+      max_time;
+      delay = None;
+      metrics;
+      trace;
+    }
+  in
+  run_cfg ~cfg ?max_copies_per_origin ~graph ~f ~fault_of ()

@@ -25,9 +25,15 @@ val honest :
   pd:Pid.Set.t ->
   f:int ->
   ?max_copies_per_origin:int ->
+  ?metrics:Obs.Metrics.t ->
+  ?trace:Obs.Trace.sink ->
   on_result:(Pid.t -> Sink_oracle.answer -> unit) ->
   unit ->
   Msg.t Simkit.Engine.behavior
+(** [metrics] counts discovery traffic ([cup_know_received],
+    [cup_sink_replies], [cup_sinks_resolved], plus the [rbcast_*] flood
+    counters); [trace] emits scope-["cup"] events ([rb_deliver],
+    [sink_resolved]) stamped with the engine's logical time. *)
 
 val faulty :
   self:Pid.t ->
@@ -43,19 +49,32 @@ type run_result = {
   stats : Simkit.Engine.stats;
 }
 
-val run :
-  ?seed:int ->
-  ?gst:int ->
-  ?delta:int ->
-  ?max_time:int ->
+val run_cfg :
+  ?cfg:Simkit.Run_config.t ->
   ?max_copies_per_origin:int ->
   graph:Digraph.t ->
   f:int ->
   fault_of:(Pid.t -> fault option) ->
   unit ->
   run_result
-(** Simulates Algorithm 3 on the whole knowledge graph under partial
-    synchrony ([gst] defaults to 50, [delta] to 10) until every correct
-    process has returned from [get_sink] or [max_time] (default
-    100_000) elapses. [fault_of] designates the faulty processes and
-    their behaviour. *)
+(** Simulates Algorithm 3 on the whole knowledge graph until every
+    correct process has returned from [get_sink] or [cfg.max_time]
+    elapses. [fault_of] designates the faulty processes and their
+    behaviour. Observability sinks in [cfg] instrument the engine and
+    every honest node. *)
+
+val run :
+  ?seed:int ->
+  ?gst:int ->
+  ?delta:int ->
+  ?max_time:int ->
+  ?max_copies_per_origin:int ->
+  ?metrics:Obs.Metrics.t ->
+  ?trace:Obs.Trace.sink ->
+  graph:Digraph.t ->
+  f:int ->
+  fault_of:(Pid.t -> fault option) ->
+  unit ->
+  run_result
+(** Flat-parameter wrapper over {!run_cfg} preserving the historical
+    defaults ([gst] 50, [delta] 10, [max_time] 100_000). *)

@@ -17,10 +17,11 @@ let participants = Pid.Map.keys
    same [|Q ∩ members| >= threshold] count. A system is compiled once
    into pid-indexed arrays of dense bitsets: the per-member test becomes
    an array load plus (for threshold slices) one popcount shared across
-   every member with a structurally equal member set ("class"). The
-   compilation is cached per system value (physical equality), so the
-   repeated queries issued by SCP federated voting, the analysis
-   fixpoints and the benchmarks all hit the same compiled form. *)
+   every member with a structurally equal member set ("class").
+
+   Compilation is explicit ({!Compiled.compile}); the historical
+   implicit entry points below keep working through a bounded
+   most-recently-compiled cache keyed by physical equality. *)
 
 module D = Pid.Dense_set
 
@@ -32,13 +33,15 @@ type entry =
           [cls] indexes the shared member-set class. *)
 
 type compiled = {
-  csys : system;  (** cache key, compared physically *)
+  csys : system;  (** the compiled system, also the implicit-cache key *)
   bound : int;  (** pids outside [0, bound) are [Absent] *)
   entries : entry array;
   class_sets : D.t array;  (** distinct threshold member sets *)
   fallback : bool;
       (** a negative pid appears somewhere: evaluate on [Pid.Set]
           directly (dense bitsets only cover non-negative ids) *)
+  mutable queries : int;  (** membership queries answered *)
+  mutable popcounts : int;  (** D.inter_cardinal calls performed *)
 }
 
 let slice_has_negative = function
@@ -50,7 +53,7 @@ let slice_has_negative = function
   | Slice.Threshold { members; _ } -> (
       match Pid.Set.min_elt_opt members with Some m -> m < 0 | None -> false)
 
-let compile sys =
+let compile_raw sys =
   let negative =
     (match Pid.Map.min_binding_opt sys with
     | Some (k, _) -> k < 0
@@ -58,7 +61,15 @@ let compile sys =
     || Pid.Map.exists (fun _ s -> slice_has_negative s) sys
   in
   if negative then
-    { csys = sys; bound = 0; entries = [||]; class_sets = [||]; fallback = true }
+    {
+      csys = sys;
+      bound = 0;
+      entries = [||];
+      class_sets = [||];
+      fallback = true;
+      queries = 0;
+      popcounts = 0;
+    }
   else begin
     let bound =
       match Pid.Map.max_binding_opt sys with Some (k, _) -> k + 1 | None -> 0
@@ -94,29 +105,10 @@ let compile sys =
       entries;
       class_sets = Array.of_list (List.rev !class_sets);
       fallback = false;
+      queries = 0;
+      popcounts = 0;
     }
   end
-
-(* Bounded most-recently-compiled cache, keyed by physical equality of
-   the system map. Sized for a simulation's worth of per-node evolving
-   slice views; a miss costs one O(system) compilation, about the price
-   of a single tree-set query. *)
-let cache : compiled list ref = ref []
-
-let cache_capacity = 64
-
-let compiled_of sys =
-  match List.find_opt (fun c -> c.csys == sys) !cache with
-  | Some c -> c
-  | None ->
-      let c = compile sys in
-      let rec take n = function
-        | [] -> []
-        | _ when n = 0 -> []
-        | x :: tl -> x :: take (n - 1) tl
-      in
-      cache := c :: take (cache_capacity - 1) !cache;
-      c
 
 (* The per-member test of Algorithm 1. [counts] memoizes one
    intersection cardinality per member-set class for the duration of a
@@ -138,6 +130,7 @@ let member_ok c counts qd i =
          (let cnt = counts.(cls) in
           if cnt >= 0 then cnt
           else begin
+            c.popcounts <- c.popcounts + 1;
             let cnt = D.inter_cardinal c.class_sets.(cls) qd in
             counts.(cls) <- cnt;
             cnt
@@ -150,39 +143,98 @@ let has_negative_member set =
    (which the dense kernel cannot represent): Algorithm 1 verbatim. *)
 let tree_member_ok sys q i = Slice.has_slice_within (slices_of sys i) q
 
-let is_quorum sys q =
-  (not (Pid.Set.is_empty q))
-  &&
-  let c = compiled_of sys in
-  if c.fallback || has_negative_member q then
-    Pid.Set.for_all (tree_member_ok sys q) q
-  else begin
-    let qd = D.of_set q in
-    let counts = Array.make (Array.length c.class_sets) (-1) in
-    D.for_all (member_ok c counts qd) qd
-  end
+module Compiled = struct
+  type t = compiled
 
+  let compile = compile_raw
+  let system c = c.csys
+
+  let is_quorum c q =
+    c.queries <- c.queries + 1;
+    (not (Pid.Set.is_empty q))
+    &&
+    if c.fallback || has_negative_member q then
+      Pid.Set.for_all (tree_member_ok c.csys q) q
+    else begin
+      let qd = D.of_set q in
+      let counts = Array.make (Array.length c.class_sets) (-1) in
+      D.for_all (member_ok c counts qd) qd
+    end
+
+  let is_quorum_of c i q = Pid.Set.mem i q && is_quorum c q
+
+  let greatest_quorum_within c set =
+    (* Discard members with no slice inside the current candidate until
+       a fixpoint. Since the union of two quorums is a quorum, the
+       fixpoint is the union of all quorums within [set]. *)
+    c.queries <- c.queries + 1;
+    if c.fallback || has_negative_member set then
+      let rec go cur =
+        let keep = Pid.Set.filter (tree_member_ok c.csys cur) cur in
+        if Pid.Set.equal keep cur then cur else go keep
+      in
+      go set
+    else begin
+      let rec go qd =
+        let counts = Array.make (Array.length c.class_sets) (-1) in
+        let keep = D.filter (member_ok c counts qd) qd in
+        if D.equal keep qd then qd else go keep
+      in
+      D.to_set (go (D.of_set set))
+    end
+
+  let contains_quorum c set =
+    not (Pid.Set.is_empty (greatest_quorum_within c set))
+
+  (* Declared after the queries so the immutable stats fields do not
+     shadow the compiled record's mutable counters of the same name. *)
+  type stats = { queries : int; popcounts : int; fallback : bool }
+
+  let stats (c : t) =
+    { queries = c.queries; popcounts = c.popcounts; fallback = c.fallback }
+end
+
+let compile = Compiled.compile
+
+(* ---- implicit-cache compatibility layer ------------------------------
+
+   Bounded most-recently-compiled cache, keyed by physical equality of
+   the system map. Sized for a simulation's worth of per-node evolving
+   slice views; a miss costs one O(system) compilation, about the price
+   of a single tree-set query. SCP federated voting, whose system grows
+   as envelopes arrive, is the intended client; code holding a stable
+   system should call {!Compiled.compile} once instead. *)
+
+type cache_stats = { hits : int; misses : int }
+
+let cache : compiled list ref = ref []
+let cache_hits = ref 0
+let cache_misses = ref 0
+let cache_capacity = 64
+
+let cache_stats () = { hits = !cache_hits; misses = !cache_misses }
+
+let compiled_of sys =
+  match List.find_opt (fun c -> c.csys == sys) !cache with
+  | Some c ->
+      incr cache_hits;
+      c
+  | None ->
+      incr cache_misses;
+      let c = compile_raw sys in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      cache := c :: take (cache_capacity - 1) !cache;
+      c
+
+let is_quorum sys q = Compiled.is_quorum (compiled_of sys) q
 let is_quorum_of sys i q = Pid.Set.mem i q && is_quorum sys q
 
 let greatest_quorum_within sys set =
-  (* Discard members with no slice inside the current candidate until a
-     fixpoint. Since the union of two quorums is a quorum, the fixpoint
-     is the union of all quorums within [set]. *)
-  let c = compiled_of sys in
-  if c.fallback || has_negative_member set then
-    let rec go cur =
-      let keep = Pid.Set.filter (tree_member_ok sys cur) cur in
-      if Pid.Set.equal keep cur then cur else go keep
-    in
-    go set
-  else begin
-    let rec go qd =
-      let counts = Array.make (Array.length c.class_sets) (-1) in
-      let keep = D.filter (member_ok c counts qd) qd in
-      if D.equal keep qd then qd else go keep
-    in
-    D.to_set (go (D.of_set set))
-  end
+  Compiled.greatest_quorum_within (compiled_of sys) set
 
 let contains_quorum sys set =
   not (Pid.Set.is_empty (greatest_quorum_within sys set))
@@ -204,8 +256,9 @@ let subsets_fold f universe acc =
 
 let enum_quorums ?universe sys =
   let universe = Option.value ~default:(participants sys) universe in
+  let c = compiled_of sys in
   subsets_fold
-    (fun s acc -> if is_quorum sys s then s :: acc else acc)
+    (fun s acc -> if Compiled.is_quorum c s then s :: acc else acc)
     universe []
 
 let keep_minimal quorums =

@@ -1,12 +1,17 @@
 (** Quorums of a Federated Byzantine Quorum System (Definition 1 and
     Algorithm 1 of the paper).
 
-    The membership tests ({!is_quorum}, {!greatest_quorum_within}) run
-    on a dense bitset compilation of the system ({!Pid.Dense_set}):
-    threshold slice sets reduce to one popcount per distinct member set
-    and candidate, and compilations are cached per system value, so
-    repeated queries against the same system (SCP federated voting,
-    analysis fixpoints) pay the compilation once. See DESIGN.md §8. *)
+    The membership tests run on a dense bitset compilation of the
+    system ({!Pid.Dense_set}): threshold slice sets reduce to one
+    popcount per distinct member set and candidate. Compilation is a
+    first-class step — {!Compiled.compile} once, query many times —
+    and each compiled system counts its own queries and popcounts for
+    the observability layer. The historical implicit entry points
+    ({!is_quorum} on a raw [system]) remain as thin wrappers over a
+    bounded per-system-value cache; they suit callers whose system
+    evolves mid-run (SCP federated voting learns slices from
+    envelopes), while stable-system callers should compile explicitly.
+    See DESIGN.md §8 and §9. *)
 
 open Graphkit
 
@@ -24,24 +29,81 @@ val slices_of : system -> Pid.t -> Slice.t
 val participants : system -> Pid.Set.t
 (** Processes with a declared slice set. *)
 
+(** The explicit compilation API: compile a system once into the dense
+    bitset form, then run membership queries against the compiled
+    value. *)
+module Compiled : sig
+  type t
+  (** A compiled system. Mutable only in its query/popcount counters;
+      the compiled structure itself is immutable. *)
+
+  val compile : system -> t
+
+  val system : t -> system
+  (** The system this value was compiled from. *)
+
+  val is_quorum : t -> Pid.Set.t -> bool
+  (** Algorithm 1: [Q] is a quorum iff it is non-empty and every
+      [i ∈ Q] has a slice contained in [Q]. (The empty set satisfies
+      the definition vacuously but is excluded, matching standard FBQS
+      usage.) *)
+
+  val is_quorum_of : t -> Pid.t -> Pid.Set.t -> bool
+  (** A quorum {e of} process [i]: a quorum containing [i]. *)
+
+  val greatest_quorum_within : t -> Pid.Set.t -> Pid.Set.t
+  (** The unique largest quorum contained in the given set (possibly
+      the empty set, which signals that the set contains no quorum).
+      Computed by iteratively discarding members that have no slice
+      inside the remaining set; correctness follows from quorums being
+      closed under union. *)
+
+  val contains_quorum : t -> Pid.Set.t -> bool
+  (** Whether some (non-empty) quorum lies within the set. *)
+
+  type stats = {
+    queries : int;  (** membership evaluations answered so far *)
+    popcounts : int;  (** dense intersection-cardinality calls *)
+    fallback : bool;  (** negative pids forced the [Pid.Set] path *)
+  }
+
+  val stats : t -> stats
+  (** Cumulative per-compiled-system counters — the kernel-level signal
+      surfaced in metrics dumps and BENCH_quorum.json. *)
+end
+
+val compile : system -> Compiled.t
+(** Alias for {!Compiled.compile}. *)
+
+(** {2 Implicit-cache wrappers}
+
+    Thin compatibility layer over {!Compiled}: each call looks the
+    system up (by physical equality) in a bounded
+    most-recently-compiled cache, compiling on miss.
+
+    @deprecated New code holding a stable system should use
+    {!Compiled.compile} + the [Compiled] queries; these wrappers remain
+    for callers whose system value evolves during a run. *)
+
 val is_quorum : system -> Pid.Set.t -> bool
-(** Algorithm 1: [Q] is a quorum iff it is non-empty and every
-    [i ∈ Q] has a slice contained in [Q]. (The empty set satisfies the
-    definition vacuously but is excluded, matching standard FBQS
-    usage.) *)
+(** [Compiled.is_quorum] through the implicit cache. *)
 
 val is_quorum_of : system -> Pid.t -> Pid.Set.t -> bool
-(** A quorum {e of} process [i]: a quorum containing [i]. *)
+(** [Compiled.is_quorum_of] through the implicit cache. *)
 
 val greatest_quorum_within : system -> Pid.Set.t -> Pid.Set.t
-(** The unique largest quorum contained in the given set (possibly the
-    empty set, which signals that the set contains no quorum). Computed
-    by iteratively discarding members that have no slice inside the
-    remaining set; correctness follows from quorums being closed under
-    union. *)
+(** [Compiled.greatest_quorum_within] through the implicit cache. *)
 
 val contains_quorum : system -> Pid.Set.t -> bool
-(** Whether some (non-empty) quorum lies within the set. *)
+(** [Compiled.contains_quorum] through the implicit cache. *)
+
+type cache_stats = { hits : int; misses : int }
+
+val cache_stats : unit -> cache_stats
+(** Cumulative implicit-cache accounting for this process — scraped
+    into the metrics registry by the runners. *)
+
+(** {2 Enumeration and blocking sets} *)
 
 val enum_quorums : ?universe:Pid.Set.t -> system -> Pid.Set.t list
 (** All quorums included in [universe] (default: all participants).

@@ -1,0 +1,27 @@
+(** A minimal JSON document type with deterministic serialization.
+
+    Every consumer of the observability layer (JSONL trace sinks,
+    metrics dumps, the CLI's [--json] outputs, the bench harness)
+    serializes through this one writer, so identical values always
+    produce identical bytes — the property the golden-trace tests and
+    the CI determinism gate rely on. Object fields are emitted in the
+    order given; no whitespace is inserted. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no spaces, no trailing newline). Floats are
+    printed with ["%.12g"]; NaN and infinities are rendered as [null]
+    (JSON has no lexeme for them). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val escape : string -> string
+(** The body of a JSON string literal (quotes not included). *)

@@ -1,0 +1,163 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int; mutable g_max : int }
+
+type histogram = {
+  bounds : int array;  (* strictly increasing upper bounds *)
+  buckets : int array;  (* length = Array.length bounds + 1 (+Inf) *)
+  mutable sum : int;
+  mutable count : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type key = { name : string; labels : (string * string) list }
+
+type t = { tbl : (key, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let canonical_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let register t name labels make =
+  let key = { name; labels = canonical_labels labels } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.tbl key m;
+      m
+
+let counter t ?(labels = []) name =
+  match register t name labels (fun () -> Counter { c = 0 }) with
+  | Counter c -> c
+  | m ->
+      invalid_arg
+        (Printf.sprintf "Metrics.counter: %s is already a %s" name
+           (kind_name m))
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.c <- c.c + by
+
+let counter_value c = c.c
+
+let gauge t ?(labels = []) name =
+  match register t name labels (fun () -> Gauge { g = 0; g_max = 0 }) with
+  | Gauge g -> g
+  | m ->
+      invalid_arg
+        (Printf.sprintf "Metrics.gauge: %s is already a %s" name (kind_name m))
+
+let set_gauge g v =
+  g.g <- v;
+  if v > g.g_max then g.g_max <- v
+
+let gauge_value g = g.g
+let gauge_max g = g.g_max
+
+let default_buckets = [ 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000 ]
+
+let histogram t ?(labels = []) ?(buckets = default_buckets) name =
+  let make () =
+    let bounds = Array.of_list (List.sort_uniq Int.compare buckets) in
+    Histogram
+      {
+        bounds;
+        buckets = Array.make (Array.length bounds + 1) 0;
+        sum = 0;
+        count = 0;
+      }
+  in
+  match register t name labels make with
+  | Histogram h -> h
+  | m ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %s is already a %s" name
+           (kind_name m))
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.sum <- h.sum + v;
+  h.count <- h.count + 1
+
+let histogram_count h = h.count
+let histogram_sum h = h.sum
+
+let sorted_bindings t =
+  let cmp (a, _) (b, _) =
+    match String.compare a.name b.name with
+    | 0 -> compare a.labels b.labels
+    | c -> c
+  in
+  List.sort cmp (Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.tbl [])
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let metric_json (key, m) =
+  let base =
+    [ ("name", Json.String key.name); ("labels", labels_json key.labels) ]
+  in
+  let rest =
+    match m with
+    | Counter c -> [ ("kind", Json.String "counter"); ("value", Json.Int c.c) ]
+    | Gauge g ->
+        [
+          ("kind", Json.String "gauge");
+          ("value", Json.Int g.g);
+          ("max", Json.Int g.g_max);
+        ]
+    | Histogram h ->
+        let buckets =
+          Array.to_list
+            (Array.mapi
+               (fun i n ->
+                 let le =
+                   if i < Array.length h.bounds then Json.Int h.bounds.(i)
+                   else Json.String "+Inf"
+                 in
+                 Json.Obj [ ("le", le); ("n", Json.Int n) ])
+               h.buckets)
+        in
+        [
+          ("kind", Json.String "histogram");
+          ("count", Json.Int h.count);
+          ("sum", Json.Int h.sum);
+          ("buckets", Json.List buckets);
+        ]
+  in
+  Json.Obj (base @ rest)
+
+let to_json t =
+  Json.Obj [ ("metrics", Json.List (List.map metric_json (sorted_bindings t))) ]
+
+let pp_labels ppf labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+      Format.fprintf ppf "{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+
+let pp ppf t =
+  List.iter
+    (fun (key, m) ->
+      match m with
+      | Counter c ->
+          Format.fprintf ppf "%s%a %d@." key.name pp_labels key.labels c.c
+      | Gauge g ->
+          Format.fprintf ppf "%s%a %d (max %d)@." key.name pp_labels
+            key.labels g.g g.g_max
+      | Histogram h ->
+          Format.fprintf ppf "%s%a count=%d sum=%d@." key.name pp_labels
+            key.labels h.count h.sum)
+    (sorted_bindings t)

@@ -1,0 +1,71 @@
+(** A metrics registry: named counters, gauges and histograms, each
+    optionally carrying a label set.
+
+    Registration is idempotent — asking twice for the same
+    (name, labels) pair returns the same underlying metric — so
+    instrumented subsystems can look their metrics up at event time
+    without threading handles around. All values are integers (event
+    counts, queue depths, logical durations): the registry never holds
+    wall-clock readings, keeping every dump byte-deterministic for a
+    fixed simulation seed.
+
+    A registry is single-domain mutable state, like the simulator it
+    observes; share one registry per run. *)
+
+type t
+(** The registry. *)
+
+val create : unit -> t
+
+type counter
+(** Monotonically increasing integer. *)
+
+type gauge
+(** Last-written integer value, plus the maximum ever written. *)
+
+type histogram
+(** Bucketed integer distribution (cumulative bucket counts, sum,
+    count), Prometheus-style. *)
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+(** Registers (or finds) a counter.
+    @raise Invalid_argument if the name+labels pair is already
+    registered as a different metric kind. *)
+
+val incr : ?by:int -> counter -> unit
+(** Adds [by] (default 1); negative increments are rejected.
+    @raise Invalid_argument on [by < 0]. *)
+
+val counter_value : counter -> int
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+
+val set_gauge : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+val gauge_max : gauge -> int
+(** The high-water mark across all {!set_gauge} calls (0 if never
+    set). *)
+
+val histogram :
+  t -> ?labels:(string * string) list -> ?buckets:int list -> string ->
+  histogram
+(** [buckets] are the upper bounds of the cumulative buckets (an
+    implicit [+Inf] bucket is always appended). Default bounds:
+    [1; 2; 5; 10; 20; 50; 100; 200; 500; 1000]. *)
+
+val observe : histogram -> int -> unit
+
+val histogram_count : histogram -> int
+
+val histogram_sum : histogram -> int
+
+val to_json : t -> Json.t
+(** All metrics, sorted by (name, labels) — deterministic regardless of
+    registration order. Shape:
+    [{"metrics": [{"name": .., "labels": {..}, "kind": ..,  ..}, ..]}] *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table, one metric per line, same ordering as
+    {!to_json}. *)

@@ -1,0 +1,55 @@
+type event = {
+  time : int;
+  seq : int;
+  scope : string;
+  name : string;
+  fields : (string * Json.t) list;
+}
+
+type sink = {
+  mutable next_seq : int;
+  mutable subscribers : (event -> unit) list;  (* reversed *)
+}
+
+let create () = { next_seq = 0; subscribers = [] }
+
+let subscribe sink f = sink.subscribers <- f :: sink.subscribers
+
+let emit sink ~time ~scope ~name fields =
+  let e = { time; seq = sink.next_seq; scope; name; fields } in
+  sink.next_seq <- sink.next_seq + 1;
+  List.iter (fun f -> f e) (List.rev sink.subscribers)
+
+let event_count sink = sink.next_seq
+
+let event_to_json e =
+  Json.Obj
+    ([
+       ("t", Json.Int e.time);
+       ("seq", Json.Int e.seq);
+       ("scope", Json.String e.scope);
+       ("ev", Json.String e.name);
+     ]
+    @ e.fields)
+
+let event_to_line e = Json.to_string (event_to_json e)
+
+let to_buffer buf =
+  let sink = create () in
+  subscribe sink (fun e ->
+      Buffer.add_string buf (event_to_line e);
+      Buffer.add_char buf '\n');
+  sink
+
+let to_channel oc =
+  let sink = create () in
+  subscribe sink (fun e ->
+      output_string oc (event_to_line e);
+      output_char oc '\n');
+  sink
+
+let recording () =
+  let sink = create () in
+  let events = ref [] in
+  subscribe sink (fun e -> events := e :: !events);
+  (sink, fun () -> List.rev !events)

@@ -12,6 +12,8 @@ type t = {
   self : Pid.t;
   system : unit -> Fbqs.Quorum.system;
   mutable tallies : tally Statement.Map.t;
+  c_quorum_checks : Obs.Metrics.counter option;
+  c_vblocking_checks : Obs.Metrics.counter option;
 }
 
 let empty_tally () =
@@ -23,7 +25,18 @@ let empty_tally () =
     i_confirmed = false;
   }
 
-let create ~self ~system = { self; system; tallies = Statement.Map.empty }
+let create ?metrics ~self ~system () =
+  {
+    self;
+    system;
+    tallies = Statement.Map.empty;
+    c_quorum_checks =
+      Option.map (fun r -> Obs.Metrics.counter r "scp_quorum_checks") metrics;
+    c_vblocking_checks =
+      Option.map
+        (fun r -> Obs.Metrics.counter r "scp_vblocking_checks")
+        metrics;
+  }
 let self t = t.self
 
 let tally t stmt =
@@ -60,12 +73,16 @@ let set_voted t stmt = (tally_exn t stmt).i_voted <- true
    this node all of whose members assert the statement — the node's own
    assertion is part of the tally (recorded when it broadcasts), so no
    special-casing of [self] here. *)
+let bump = function Some c -> Obs.Metrics.incr c | None -> ()
+
 let member_of_quorum_within t s =
+  bump t.c_quorum_checks;
   Pid.Set.mem t.self (Fbqs.Quorum.greatest_quorum_within (t.system ()) s)
 
 let quorum_votes t stmt = member_of_quorum_within t (tally t stmt).voters
 
 let blocking_accepts t stmt =
+  bump t.c_vblocking_checks;
   Fbqs.Quorum.is_v_blocking (t.system ()) t.self (tally t stmt).acceptors
 
 let can_accept t stmt =

@@ -25,10 +25,17 @@ type tally = {
 
 type t
 
-val create : self:Pid.t -> system:(unit -> Fbqs.Quorum.system) -> t
+val create :
+  ?metrics:Obs.Metrics.t ->
+  self:Pid.t ->
+  system:(unit -> Fbqs.Quorum.system) ->
+  unit ->
+  t
 (** [system] is consulted at every evaluation, so the slice knowledge
     may grow while voting is under way (nodes learn declarations from
-    envelopes). *)
+    envelopes). [metrics] counts the federated-voting quorum and
+    v-blocking evaluations ([scp_quorum_checks],
+    [scp_vblocking_checks]). *)
 
 val self : t -> Pid.t
 

@@ -27,8 +27,26 @@ let priority v =
   let z = (z lxor (z lsr 13)) * 0xc2b2ae35 in
   (z lxor (z lsr 16)) land max_int
 
+(* Per-node observability handles; counters are pre-registered at node
+   creation (registration is idempotent, so all nodes of a run share
+   the same registry entries). *)
+type node_obs = {
+  trace : Obs.Trace.sink option;
+  c_votes : Obs.Metrics.counter option;
+  c_accepts : Obs.Metrics.counter option;
+  c_confirms : Obs.Metrics.counter option;
+  c_ballots : Obs.Metrics.counter option;
+  c_nom_rounds : Obs.Metrics.counter option;
+  c_decides : Obs.Metrics.counter option;
+  c_quorum_checks : Obs.Metrics.counter option;
+      (* shared with Fvoting's counter of the same name: the node's
+         merged-tally evaluations bypass Fvoting's entry points *)
+  c_vblocking_checks : Obs.Metrics.counter option;
+}
+
 type state = {
   cfg : config;
+  obs : node_obs;
   fv : Fvoting.t;
   known_slices : Fbqs.Quorum.system ref;
       (* slice declarations learned from envelopes, own included *)
@@ -42,12 +60,41 @@ type state = {
   mutable nom_round : int;  (* leader-priority nomination round *)
 }
 
-let make_state cfg =
+let make_obs ?metrics ?trace () =
+  let c name = Option.map (fun r -> Obs.Metrics.counter r name) metrics in
+  {
+    trace;
+    c_votes = c "scp_votes";
+    c_accepts = c "scp_accepts";
+    c_confirms = c "scp_confirms";
+    c_ballots = c "scp_ballots_entered";
+    c_nom_rounds = c "scp_nomination_rounds";
+    c_decides = c "scp_decisions";
+    c_quorum_checks = c "scp_quorum_checks";
+    c_vblocking_checks = c "scp_vblocking_checks";
+  }
+
+let bump = function Some c -> Obs.Metrics.incr c | None -> ()
+
+let obs_event st ctx name fields =
+  match st.obs.trace with
+  | None -> ()
+  | Some sink ->
+      Obs.Trace.emit sink ~time:(Engine.now ctx) ~scope:"scp" ~name
+        (("node", Obs.Json.Int st.cfg.self) :: fields)
+
+let stmt_field stmt =
+  [ ("stmt", Obs.Json.String (Format.asprintf "%a" Statement.pp stmt)) ]
+
+let make_state ?metrics ?trace cfg =
   let known_slices = ref (Pid.Map.singleton cfg.self cfg.my_slices) in
   {
     cfg;
+    obs = make_obs ?metrics ?trace ();
     fv =
-      Fvoting.create ~self:cfg.self ~system:(fun () -> !known_slices);
+      Fvoting.create ?metrics ~self:cfg.self
+        ~system:(fun () -> !known_slices)
+        ();
     known_slices;
     peers = Pid.Set.remove cfg.self cfg.initial_peers;
     seen = Msg.Set.empty;
@@ -110,12 +157,16 @@ let vote st ctx stmt =
   if not tl.i_voted then begin
     Fvoting.set_voted st.fv stmt;
     Fvoting.record_vote st.fv stmt st.cfg.self;
+    bump st.obs.c_votes;
+    obs_event st ctx "vote" (stmt_field stmt);
     emit_own st ctx (Msg.vote st.cfg.self ~slices:st.cfg.my_slices stmt)
   end
 
 let accept st ctx stmt =
   Fvoting.mark_accepted st.fv stmt;
   Fvoting.record_accept st.fv stmt st.cfg.self;
+  bump st.obs.c_accepts;
+  obs_event st ctx "accept" (stmt_field stmt);
   emit_own st ctx (Msg.accept st.cfg.self ~slices:st.cfg.my_slices stmt)
 
 (* ---- prepared-statement tallies with counter subsumption ------------- *)
@@ -143,6 +194,7 @@ let merged_sets st stmt =
       (tl.voters, tl.acceptors)
 
 let member_of_quorum st s =
+  bump st.obs.c_quorum_checks;
   Pid.Set.mem st.cfg.self
     (Fbqs.Quorum.greatest_quorum_within !(st.known_slices) s)
 
@@ -177,7 +229,9 @@ let can_accept st stmt =
   &&
   let voters, acceptors = merged_sets st stmt in
   member_of_quorum st voters
-  || Fbqs.Quorum.is_v_blocking !(st.known_slices) st.cfg.self acceptors
+  ||
+  (bump st.obs.c_vblocking_checks;
+   Fbqs.Quorum.is_v_blocking !(st.known_slices) st.cfg.self acceptors)
 
 let can_confirm st stmt =
   let tl = Fvoting.tally st.fv stmt in
@@ -203,6 +257,9 @@ let next_ballot_value st =
 
 let enter_ballot st ctx b =
   st.current <- Some b;
+  bump st.obs.c_ballots;
+  obs_event st ctx "enter_ballot"
+    [ ("ballot", Obs.Json.String (Format.asprintf "%a" Ballot.pp b)) ];
   vote st ctx (Statement.Prepare b);
   arm_ballot_timer st ctx
 
@@ -238,6 +295,13 @@ let on_confirmed st ctx stmt =
           { value = b.Ballot.value; ballot = b; time = Engine.now ctx }
         in
         st.decided <- Some d;
+        bump st.obs.c_decides;
+        obs_event st ctx "decide"
+          [
+            ("value", Obs.Json.String (Format.asprintf "%a" Value.pp d.value));
+            ( "ballot",
+              Obs.Json.String (Format.asprintf "%a" Ballot.pp d.ballot) );
+          ];
         st.cfg.on_decide st.cfg.self d
       end
 
@@ -253,6 +317,8 @@ let rec progress st ctx =
       end;
       if can_confirm st stmt then begin
         Fvoting.mark_confirmed st.fv stmt;
+        bump st.obs.c_confirms;
+        obs_event st ctx "confirm" (stmt_field stmt);
         on_confirmed st ctx stmt;
         changed := true
       end)
@@ -294,6 +360,8 @@ let start_nomination st ctx =
    voted for. *)
 let bump_nomination_round st ctx timeout =
   st.nom_round <- st.nom_round + 1;
+  bump st.obs.c_nom_rounds;
+  obs_event st ctx "nomination_round" [ ("round", Obs.Json.Int st.nom_round) ];
   let ls = leaders st in
   if Pid.Set.mem st.cfg.self ls then
     vote st ctx (Statement.Nominate st.cfg.initial_value);
@@ -310,8 +378,8 @@ let bump_nomination_round st ctx timeout =
     ~delay:(timeout * st.nom_round)
     (Printf.sprintf "nom:%d" st.nom_round)
 
-let behavior cfg : Msg.t Engine.behavior =
-  let st = make_state cfg in
+let behavior ?metrics ?trace cfg : Msg.t Engine.behavior =
+  let st = make_state ?metrics ?trace cfg in
   let on_start ctx = start_nomination st ctx in
   let on_message ctx ~src (env : Msg.t) =
     if not (Pid.Set.mem src st.peers) && not (Pid.equal src cfg.self) then begin

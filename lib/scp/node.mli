@@ -58,7 +58,17 @@ val priority : Pid.t -> int
     wins). Shared by all nodes, so nodes with equal domains compute
     equal leader sets. *)
 
-val behavior : config -> Msg.t Simkit.Engine.behavior
+val behavior :
+  ?metrics:Obs.Metrics.t ->
+  ?trace:Obs.Trace.sink ->
+  config ->
+  Msg.t Simkit.Engine.behavior
+(** [metrics] registers and bumps the [scp_*] counters (votes, accepts,
+    confirms, ballots entered, nomination rounds, decisions, plus the
+    federated-voting quorum/v-blocking check counters); [trace] emits
+    scope-["scp"] events ([vote], [accept], [confirm], [enter_ballot],
+    [nomination_round], [decide]) stamped with the engine's logical
+    time. *)
 
 (** Byzantine SCP behaviours used by the experiments. *)
 

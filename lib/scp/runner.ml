@@ -32,15 +32,35 @@ let pp_outcome ppf o =
     (Pid.Map.pp Node.pp_decision)
     o.decisions
 
-let run ?(seed = 0) ?(gst = 50) ?(delta = 5) ?(max_time = 200_000)
-    ?(ballot_timeout = 40) ?(nomination = Node.Echo_all) ?delay ~system
-    ~peers_of ~initial_value_of ~fault_of () =
-  let delay =
-    match delay with
-    | Some d -> d
-    | None -> Delay.partial_synchrony ~gst ~delta ~seed
+type cfg = {
+  run : Run_config.t;
+  ballot_timeout : int;
+  nomination : Node.nomination_strategy;
+}
+
+let default_cfg =
+  { run = Run_config.default; ballot_timeout = 40; nomination = Node.Echo_all }
+
+let run_cfg ?(cfg = default_cfg) ~system ~peers_of ~initial_value_of ~fault_of
+    () =
+  let rc = cfg.run in
+  let metrics = rc.Run_config.metrics and trace = rc.Run_config.trace in
+  let engine = Engine.create_cfg ~pp_msg:Msg.pp rc in
+  (* Scrape the process-global quorum-cache counters as deltas so the
+     run's metrics reflect only this run. *)
+  let cache0 = Fbqs.Quorum.cache_stats () in
+  let trace_event ~time name fields =
+    match trace with
+    | None -> ()
+    | Some sink -> Obs.Trace.emit sink ~time ~scope:"runner" ~name fields
   in
-  let engine = Engine.create ~pp_msg:Msg.pp ~delay () in
+  trace_event ~time:0 "run_start"
+    [
+      ("seed", Obs.Json.Int rc.seed);
+      ("max_time", Obs.Json.Int rc.max_time);
+      ( "participants",
+        Obs.Json.Int (Pid.Set.cardinal (Fbqs.Quorum.participants system)) );
+    ];
   let decisions = ref Pid.Map.empty in
   let participants = Fbqs.Quorum.participants system in
   let correct = ref Pid.Set.empty in
@@ -75,19 +95,19 @@ let run ?(seed = 0) ?(gst = 50) ?(delta = 5) ?(max_time = 200_000)
           correct := Pid.Set.add i !correct;
           incr undecided;
           Engine.add_node engine i
-            (Node.behavior
+            (Node.behavior ?metrics ?trace
                {
                  Node.self = i;
                  my_slices = Fbqs.Quorum.slices_of system i;
                  initial_peers = peers_of i;
                  initial_value = initial_value_of i;
-                 ballot_timeout;
-                 nomination;
+                 ballot_timeout = cfg.ballot_timeout;
+                 nomination = cfg.nomination;
                  on_decide;
                }))
     participants;
   let all_decided () = !undecided = 0 in
-  let stats = Engine.run ~max_time ~stop:all_decided engine in
+  let stats = Engine.run ~stop:all_decided engine in
   let decisions = !decisions in
   let decided_values =
     Pid.Map.fold (fun _ (d : Node.decision) acc -> d.value :: acc) decisions []
@@ -129,6 +149,23 @@ let run ?(seed = 0) ?(gst = 50) ?(delta = 5) ?(max_time = 200_000)
           (Value.to_list v))
       decided_values
   in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      let cache1 = Fbqs.Quorum.cache_stats () in
+      Obs.Metrics.incr
+        ~by:(cache1.Fbqs.Quorum.hits - cache0.Fbqs.Quorum.hits)
+        (Obs.Metrics.counter reg "fbqs_cache_hits");
+      Obs.Metrics.incr
+        ~by:(cache1.Fbqs.Quorum.misses - cache0.Fbqs.Quorum.misses)
+        (Obs.Metrics.counter reg "fbqs_cache_misses"));
+  trace_event ~time:stats.Engine.end_time "run_end"
+    [
+      ("end_time", Obs.Json.Int stats.Engine.end_time);
+      ("all_decided", Obs.Json.Bool (all_decided ()));
+      ("agreement", Obs.Json.Bool agreement);
+      ("validity", Obs.Json.Bool validity);
+    ];
   {
     decisions;
     all_decided = all_decided ();
@@ -136,3 +173,24 @@ let run ?(seed = 0) ?(gst = 50) ?(delta = 5) ?(max_time = 200_000)
     validity;
     stats;
   }
+
+let run ?(seed = 0) ?(gst = 50) ?(delta = 5) ?(max_time = 200_000)
+    ?(ballot_timeout = 40) ?(nomination = Node.Echo_all) ?delay ?metrics
+    ?trace ~system ~peers_of ~initial_value_of ~fault_of () =
+  let cfg =
+    {
+      run =
+        {
+          Run_config.seed;
+          gst;
+          delta;
+          max_time;
+          delay;
+          metrics;
+          trace;
+        };
+      ballot_timeout;
+      nomination;
+    }
+  in
+  run_cfg ~cfg ~system ~peers_of ~initial_value_of ~fault_of ()

@@ -35,14 +35,19 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val run :
-  ?seed:int ->
-  ?gst:int ->
-  ?delta:int ->
-  ?max_time:int ->
-  ?ballot_timeout:int ->
-  ?nomination:Node.nomination_strategy ->
-  ?delay:Simkit.Delay.t ->
+type cfg = {
+  run : Simkit.Run_config.t;
+      (** timing, seed and observability sinks, shared with the engine *)
+  ballot_timeout : int;
+  nomination : Node.nomination_strategy;
+}
+
+val default_cfg : cfg
+(** [run = Run_config.default], [ballot_timeout = 40],
+    [nomination = Echo_all]. *)
+
+val run_cfg :
+  ?cfg:cfg ->
   system:Fbqs.Quorum.system ->
   peers_of:(Pid.t -> Pid.Set.t) ->
   initial_value_of:(Pid.t -> Value.t) ->
@@ -51,7 +56,31 @@ val run :
   outcome
 (** Runs one consensus instance. Participants are the processes of
     [system]. [peers_of] gives each node its initial contact list
-    (normally its slice domain). [delay] overrides the default
-    partial-synchrony model — pass a {!Simkit.Delay.targeted} model to
-    act as a network adversary. The run stops when every correct node
-    has decided or at [max_time] (default 200_000). *)
+    (normally its slice domain). The run stops when every correct node
+    has decided or at [cfg.run.max_time]. When [cfg.run] carries
+    observability sinks, the engine and every honest node are
+    instrumented, scope-["runner"] [run_start]/[run_end] events bracket
+    the trace, and the process-global quorum-cache counters are scraped
+    as per-run deltas ([fbqs_cache_hits]/[fbqs_cache_misses]). *)
+
+val run :
+  ?seed:int ->
+  ?gst:int ->
+  ?delta:int ->
+  ?max_time:int ->
+  ?ballot_timeout:int ->
+  ?nomination:Node.nomination_strategy ->
+  ?delay:Simkit.Delay.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?trace:Obs.Trace.sink ->
+  system:Fbqs.Quorum.system ->
+  peers_of:(Pid.t -> Pid.Set.t) ->
+  initial_value_of:(Pid.t -> Value.t) ->
+  fault_of:(Pid.t -> fault option) ->
+  unit ->
+  outcome
+(** Flat-parameter wrapper over {!run_cfg} preserving the historical
+    defaults (seed 0, gst 50, delta 5, max_time 200_000, ballot_timeout
+    40, [Echo_all]). [delay] overrides the default partial-synchrony
+    model — pass a {!Simkit.Delay.targeted} model to act as a network
+    adversary. *)

@@ -12,10 +12,22 @@ type 'm event =
 type stats = {
   messages_sent : int;
   messages_delivered : int;
+  messages_dropped : int;
   timers_fired : int;
   end_time : int;
+  queue_high_water : int;
   sent_by : int Pid.Map.t;
   sent_by_class : (string * int) list;
+}
+
+(* Counters pre-registered at engine creation so the per-event hot path
+   pays one field write, not a registry lookup. *)
+type meters = {
+  m_sent : Obs.Metrics.counter;
+  m_delivered : Obs.Metrics.counter;
+  m_dropped : Obs.Metrics.counter;
+  m_timers : Obs.Metrics.counter;
+  m_queue_depth : Obs.Metrics.gauge;
 }
 
 type 'm t = {
@@ -25,9 +37,13 @@ type 'm t = {
   pp_msg : (Format.formatter -> 'm -> unit) option;
   classify : ('m -> string) option;
   class_counts : (string, int) Hashtbl.t;
+  meters : meters option;
+  trace : Obs.Trace.sink option;
+  default_max_time : int;
   mutable clock : int;
   mutable messages_sent : int;
   mutable messages_delivered : int;
+  mutable messages_dropped : int;
   mutable timers_fired : int;
   sent_by_tbl : (Pid.t, int) Hashtbl.t;
 }
@@ -50,6 +66,17 @@ let idle_behavior =
 let self ctx = ctx.owner
 let now ctx = ctx.engine.clock
 
+let emit t name fields =
+  match t.trace with
+  | None -> ()
+  | Some sink -> Obs.Trace.emit sink ~time:t.clock ~scope:"engine" ~name fields
+
+let msg_fields t payload =
+  match (t.trace, t.pp_msg) with
+  | Some _, Some pp ->
+      [ ("msg", Obs.Json.String (Format.asprintf "%a" pp payload)) ]
+  | _ -> []
+
 let send ctx dst payload =
   let t = ctx.engine in
   t.messages_sent <- t.messages_sent + 1;
@@ -62,6 +89,14 @@ let send ctx dst payload =
   Hashtbl.replace t.sent_by_tbl ctx.owner
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.sent_by_tbl ctx.owner));
   let d = Delay.delay_of t.delay ~now:t.clock ~src:ctx.owner ~dst in
+  (match t.meters with Some m -> Obs.Metrics.incr m.m_sent | None -> ());
+  emit t "send"
+    ([
+       ("src", Obs.Json.Int ctx.owner);
+       ("dst", Obs.Json.Int dst);
+       ("at", Obs.Json.Int (t.clock + d));
+     ]
+    @ msg_fields t payload);
   Event_queue.push t.queue ~time:(t.clock + d)
     (Deliver { src = ctx.owner; dst; payload })
 
@@ -71,7 +106,20 @@ let set_timer ctx ~delay tag =
     ~time:(t.clock + max 1 delay)
     (Timer { owner = ctx.owner; tag })
 
-let create ?pp_msg ?classify ~delay () =
+let create ?pp_msg ?classify ?metrics ?trace ?(max_time = 1_000_000) ~delay ()
+    =
+  let meters =
+    Option.map
+      (fun reg ->
+        {
+          m_sent = Obs.Metrics.counter reg "engine_messages_sent";
+          m_delivered = Obs.Metrics.counter reg "engine_messages_delivered";
+          m_dropped = Obs.Metrics.counter reg "engine_messages_dropped";
+          m_timers = Obs.Metrics.counter reg "engine_timers_fired";
+          m_queue_depth = Obs.Metrics.gauge reg "engine_queue_depth";
+        })
+      metrics
+  in
   {
     delay;
     queue = Event_queue.create ();
@@ -79,12 +127,22 @@ let create ?pp_msg ?classify ~delay () =
     pp_msg;
     classify;
     class_counts = Hashtbl.create 8;
+    meters;
+    trace;
+    default_max_time = max_time;
     clock = 0;
     messages_sent = 0;
     messages_delivered = 0;
+    messages_dropped = 0;
     timers_fired = 0;
     sent_by_tbl = Hashtbl.create 32;
   }
+
+let create_cfg ?pp_msg ?classify (cfg : Run_config.t) =
+  create ?pp_msg ?classify ?metrics:cfg.metrics ?trace:cfg.trace
+    ~max_time:cfg.max_time
+    ~delay:(Run_config.delay_model cfg)
+    ()
 
 let add_node t pid behavior = Hashtbl.replace t.nodes pid behavior
 
@@ -92,8 +150,10 @@ let stats_of t =
   {
     messages_sent = t.messages_sent;
     messages_delivered = t.messages_delivered;
+    messages_dropped = t.messages_dropped;
     timers_fired = t.timers_fired;
     end_time = t.clock;
+    queue_high_water = Event_queue.high_water t.queue;
     sent_by =
       (* materialized on demand: the per-send hot path only bumps a
          hash-table counter *)
@@ -106,30 +166,53 @@ let stats_of t =
 let now_of t = t.clock
 
 let dispatch t event =
+  (match t.meters with
+  | Some m -> Obs.Metrics.set_gauge m.m_queue_depth (Event_queue.length t.queue)
+  | None -> ());
   match event with
   | Start pid -> (
       match Hashtbl.find_opt t.nodes pid with
-      | Some b -> b.on_start { engine = t; owner = pid }
+      | Some b ->
+          emit t "start" [ ("node", Obs.Json.Int pid) ];
+          b.on_start { engine = t; owner = pid }
       | None -> ())
   | Timer { owner; tag } -> (
       match Hashtbl.find_opt t.nodes owner with
       | Some b ->
           t.timers_fired <- t.timers_fired + 1;
+          (match t.meters with
+          | Some m -> Obs.Metrics.incr m.m_timers
+          | None -> ());
+          emit t "timer"
+            [ ("owner", Obs.Json.Int owner); ("tag", Obs.Json.String tag) ];
           b.on_timer { engine = t; owner } tag
       | None -> ())
   | Deliver { src = from; dst; payload } -> (
       match Hashtbl.find_opt t.nodes dst with
       | Some b ->
           t.messages_delivered <- t.messages_delivered + 1;
+          (match t.meters with
+          | Some m -> Obs.Metrics.incr m.m_delivered
+          | None -> ());
+          emit t "deliver"
+            ([ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ]
+            @ msg_fields t payload);
           (match t.pp_msg with
           | Some pp ->
               Log.debug (fun m ->
                   m "t=%d %d -> %d : %a" t.clock from dst pp payload)
           | None -> ());
           b.on_message { engine = t; owner = dst } ~src:from payload
-      | None -> ())
+      | None ->
+          t.messages_dropped <- t.messages_dropped + 1;
+          (match t.meters with
+          | Some m -> Obs.Metrics.incr m.m_dropped
+          | None -> ());
+          emit t "drop"
+            [ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ])
 
-let run ?(max_time = 1_000_000) ?(stop = fun () -> false) t =
+let run ?max_time ?(stop = fun () -> false) t =
+  let max_time = Option.value ~default:t.default_max_time max_time in
   Hashtbl.iter
     (fun pid _ -> Event_queue.push t.queue ~time:0 (Start pid))
     t.nodes;

@@ -7,7 +7,13 @@
     sender), reliable (no loss or duplication) and point-to-point;
     delivery order follows the {!Delay} model, so reordering is the
     norm. All scheduling is deterministic given the delay model's
-    seed. *)
+    seed.
+
+    The engine is the bottom of the observability stack: given a
+    metrics registry it counts sends, deliveries, drops and timer
+    firings and tracks the event-queue depth; given a trace sink it
+    emits one structured event per send, delivery, drop, timer and
+    process start (scope ["engine"]), stamped with the logical clock. *)
 
 open Graphkit
 
@@ -22,7 +28,8 @@ val send : 'm ctx -> Pid.t -> 'm -> unit
 (** Sends a message; delivery is scheduled per the delay model. Sending
     to an unknown process id silently drops the message (it still counts
     as sent in the statistics, mirroring a real network where the
-    destination address may be stale). *)
+    destination address may be stale; the drop is counted at the
+    scheduled delivery time). *)
 
 val set_timer : 'm ctx -> delay:int -> string -> unit
 (** Arms a one-shot timer; the tag is passed back to [on_timer].
@@ -41,8 +48,12 @@ val idle_behavior : 'm behavior
 type stats = {
   messages_sent : int;
   messages_delivered : int;
+  messages_dropped : int;
+      (** sends whose destination was never registered *)
   timers_fired : int;
   end_time : int;  (** timestamp of the last processed event *)
+  queue_high_water : int;
+      (** maximum number of simultaneously pending events *)
   sent_by : int Pid.Map.t;
   sent_by_class : (string * int) list;
       (** per-class send counts when a [classify] function was given
@@ -54,12 +65,26 @@ type 'm t
 val create :
   ?pp_msg:(Format.formatter -> 'm -> unit) ->
   ?classify:('m -> string) ->
+  ?metrics:Obs.Metrics.t ->
+  ?trace:Obs.Trace.sink ->
+  ?max_time:int ->
   delay:Delay.t ->
   unit ->
   'm t
 (** [pp_msg] enables human-readable traces through [Logs] at debug
-    level; [classify] enables per-message-class traffic accounting in
-    {!type:stats}. *)
+    level and, when a trace sink is attached, a rendered ["msg"] field
+    on send/deliver events; [classify] enables per-message-class
+    traffic accounting in {!type:stats}. [metrics] and [trace] attach
+    the observability sinks; [max_time] sets the default time budget
+    {!run} uses when not overridden (default [1_000_000]). *)
+
+val create_cfg :
+  ?pp_msg:(Format.formatter -> 'm -> unit) ->
+  ?classify:('m -> string) ->
+  Run_config.t ->
+  'm t
+(** {!create} driven by a unified {!Run_config.t}: delay model,
+    observability sinks and time budget all come from the config. *)
 
 val add_node : 'm t -> Pid.t -> 'm behavior -> unit
 (** Registers a process. Re-adding an id replaces its behaviour.
@@ -68,8 +93,8 @@ val add_node : 'm t -> Pid.t -> 'm behavior -> unit
 val run : ?max_time:int -> ?stop:(unit -> bool) -> 'm t -> stats
 (** Starts every registered process and processes events in timestamp
     order until the queue drains, [stop ()] holds (checked after every
-    event), or the clock passes [max_time] (default [1_000_000]).
-    Returns the execution statistics. *)
+    event), or the clock passes [max_time] (default: the engine's
+    configured budget). Returns the execution statistics. *)
 
 val now_of : 'm t -> int
 

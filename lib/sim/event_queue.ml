@@ -4,9 +4,10 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  mutable high_water : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { data = [||]; size = 0; next_seq = 0; high_water = 0 }
 let is_empty q = q.size = 0
 let length q = q.size
 
@@ -47,6 +48,7 @@ let push q ~time payload =
   end;
   q.data.(q.size) <- entry;
   q.size <- q.size + 1;
+  if q.size > q.high_water then q.high_water <- q.size;
   sift_up q (q.size - 1)
 
 let pop q =
@@ -62,3 +64,4 @@ let pop q =
   end
 
 let peek_time q = if q.size = 0 then None else Some q.data.(0).time
+let high_water q = q.high_water

@@ -19,3 +19,8 @@ val pop : 'a t -> (int * 'a) option
 (** Removes and returns the earliest event as [(time, event)]. *)
 
 val peek_time : 'a t -> int option
+
+val high_water : 'a t -> int
+(** The largest number of simultaneously pending events ever observed —
+    the queue-depth high-water mark reported by the engine's
+    statistics and metrics. *)

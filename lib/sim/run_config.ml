@@ -1,0 +1,28 @@
+type t = {
+  seed : int;
+  gst : int;
+  delta : int;
+  max_time : int;
+  delay : Delay.t option;
+  metrics : Obs.Metrics.t option;
+  trace : Obs.Trace.sink option;
+}
+
+let default =
+  {
+    seed = 0;
+    gst = 50;
+    delta = 5;
+    max_time = 200_000;
+    delay = None;
+    metrics = None;
+    trace = None;
+  }
+
+let with_seed seed cfg = { cfg with seed }
+
+let delay_model cfg =
+  match cfg.delay with
+  | Some d -> d
+  | None ->
+      Delay.partial_synchrony ~gst:cfg.gst ~delta:cfg.delta ~seed:cfg.seed

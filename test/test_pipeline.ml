@@ -32,9 +32,16 @@ let test_scp_local_violation_vs_benign () =
         sink_side a <> sink_side b)
   in
   let value_of i = Scp.Value.of_ints [ (if sink_side i then 1 else 2) ] in
+  let cfg =
+    {
+      Simkit.Run_config.default with
+      max_time = 120_000;
+      delay = Some adversarial;
+    }
+  in
   let v =
-    Pipeline.scp_with_local_slices ~delay:adversarial ~max_time:120_000
-      ~graph:g ~f:1 ~faulty:Pid.Set.empty ~initial_value_of:value_of ()
+    Pipeline.scp_with_local_slices ~cfg ~graph:g ~f:1 ~faulty:Pid.Set.empty
+      ~initial_value_of:value_of ()
   in
   Alcotest.(check bool) "local slices + adversary: decided" true v.all_decided;
   Alcotest.(check bool) "local slices + adversary: agreement broken" false
@@ -70,13 +77,13 @@ let prop_pipelines_agree_across_seeds =
         Generators.random_byzantine_safe ~seed ~f ~sink_size:5 ~non_sink:2 ()
       in
       let faulty = Generators.random_faulty_set ~seed ~f g in
+      let cfg = Simkit.Run_config.with_seed seed Simkit.Run_config.default in
       let a =
-        Pipeline.scp_with_sink_detector ~seed ~graph:g ~f ~faulty
+        Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f ~faulty
           ~initial_value_of:own_value ()
       in
       let b =
-        Pipeline.bftcup ~seed ~graph:g ~f ~faulty ~initial_value_of:own_value
-          ()
+        Pipeline.bftcup ~cfg ~graph:g ~f ~faulty ~initial_value_of:own_value ()
       in
       a.all_decided && a.agreement && b.all_decided && b.agreement)
 

@@ -1,0 +1,140 @@
+(* The first-class Quorum.Compiled API: explicit compile-once handles
+   must agree everywhere with the deprecated implicit-cache wrappers,
+   and the per-handle instrumentation must count. *)
+
+open Graphkit
+open Fbqs
+
+let set = Pid.Set.of_list
+let pid_set = Alcotest.testable Pid.Set.pp Pid.Set.equal
+
+let fig1_system =
+  Quorum.system_of_list
+    (List.map
+       (fun (i, slices) -> (i, Slice.explicit slices))
+       Graphkit.Builtin.fig1_slices)
+
+let test_compiled_matches_wrappers_on_fig1 () =
+  let c = Quorum.Compiled.compile fig1_system in
+  let candidates =
+    [
+      set [ 5; 6; 7 ];
+      set [ 1; 2; 4; 5; 6; 7 ];
+      set [ 1; 2; 5; 6; 7 ];
+      set [ 5; 6; 7; 8 ];
+      Pid.Set.empty;
+      Pid.Set.of_range 1 7;
+    ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "is_quorum agrees on %s" (Pid.Set.to_string s))
+        (Quorum.is_quorum fig1_system s)
+        (Quorum.Compiled.is_quorum c s);
+      Alcotest.check pid_set
+        (Printf.sprintf "greatest_quorum_within agrees on %s"
+           (Pid.Set.to_string s))
+        (Quorum.greatest_quorum_within fig1_system s)
+        (Quorum.Compiled.greatest_quorum_within c s))
+    candidates;
+  Alcotest.(check bool) "system round-trips" true
+    (Quorum.Compiled.system c == fig1_system)
+
+let threshold_system n t =
+  let members = Pid.Set.of_range 1 n in
+  Quorum.system_of_list
+    (List.map
+       (fun i -> (i, Slice.threshold ~members ~threshold:t))
+       (Pid.Set.elements members))
+
+let test_compiled_stats_count () =
+  let c = Quorum.Compiled.compile (threshold_system 7 5) in
+  let s0 = Quorum.Compiled.stats c in
+  Alcotest.(check int) "fresh handle: no queries" 0 s0.queries;
+  ignore (Quorum.Compiled.is_quorum c (Pid.Set.of_range 1 5));
+  ignore (Quorum.Compiled.greatest_quorum_within c (Pid.Set.of_range 1 7));
+  let s1 = Quorum.Compiled.stats c in
+  Alcotest.(check int) "two queries counted" 2 s1.queries;
+  (* Threshold entries share one popcount per member-set class per
+     evaluation. *)
+  Alcotest.(check bool) "popcounts counted" true (s1.popcounts > 0);
+  let c_explicit = Quorum.Compiled.compile fig1_system in
+  ignore (Quorum.Compiled.is_quorum c_explicit (set [ 5; 6; 7 ]));
+  let se = Quorum.Compiled.stats c_explicit in
+  Alcotest.(check int) "explicit slices: subset tests, no popcounts" 0
+    se.popcounts
+
+let test_wrapper_cache_stats_move () =
+  let before = Quorum.cache_stats () in
+  ignore (Quorum.is_quorum fig1_system (set [ 5; 6; 7 ]));
+  ignore (Quorum.is_quorum fig1_system (set [ 3; 5; 6; 7 ]));
+  let after = Quorum.cache_stats () in
+  Alcotest.(check bool) "wrapper calls touch the implicit cache" true
+    (after.hits + after.misses > before.hits + before.misses)
+
+(* Random slice systems: processes 1..n, each declaring one or two
+   random explicit slices over the universe. *)
+let gen_system =
+  QCheck.Gen.(
+    let* n = int_range 3 7 in
+    let universe = List.init n (fun i -> i + 1) in
+    let slice =
+      let* members = List.fold_right
+        (fun i acc ->
+          let* keep = bool in
+          let* rest = acc in
+          return (if keep then i :: rest else rest))
+        universe (return [])
+      in
+      return (Pid.Set.of_list members)
+    in
+    let* assoc =
+      flatten_l
+        (List.map
+           (fun i ->
+             let* s1 = slice in
+             let* s2 = slice in
+             return (i, Slice.explicit [ s1; s2 ]))
+           universe)
+    in
+    let* probe = slice in
+    return (Quorum.system_of_list assoc, probe))
+
+let arb_system =
+  QCheck.make
+    ~print:(fun (sys, probe) ->
+      Printf.sprintf "system over %s, probe %s"
+        (Pid.Set.to_string (Quorum.participants sys))
+        (Pid.Set.to_string probe))
+    gen_system
+
+let prop_wrappers_agree_with_compiled =
+  QCheck.Test.make ~count:200
+    ~name:"deprecated wrappers = Compiled API on random systems" arb_system
+    (fun (sys, probe) ->
+      let c = Quorum.Compiled.compile sys in
+      Quorum.is_quorum sys probe = Quorum.Compiled.is_quorum c probe
+      && Pid.Set.equal
+           (Quorum.greatest_quorum_within sys probe)
+           (Quorum.Compiled.greatest_quorum_within c probe)
+      && Quorum.contains_quorum sys probe
+         = Quorum.Compiled.contains_quorum c probe
+      && Pid.Set.for_all
+           (fun i ->
+             Quorum.is_quorum_of sys i probe
+             = Quorum.Compiled.is_quorum_of c i probe)
+           (Quorum.participants sys))
+
+let suites =
+  [
+    ( "quorum_compiled",
+      [
+        Alcotest.test_case "Compiled = wrappers on fig1" `Quick
+          test_compiled_matches_wrappers_on_fig1;
+        Alcotest.test_case "per-handle stats" `Quick test_compiled_stats_count;
+        Alcotest.test_case "wrapper cache accounting" `Quick
+          test_wrapper_cache_stats_move;
+        QCheck_alcotest.to_alcotest prop_wrappers_agree_with_compiled;
+      ] );
+  ]

@@ -43,7 +43,7 @@ let threshold_system n t =
 
 let test_fv_accept_via_quorum () =
   let sys = threshold_system 4 3 in
-  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) () in
   let stmt = Statement.Nominate (v [ 5 ]) in
   Alcotest.(check bool) "nothing yet" false (Fvoting.can_accept fv stmt);
   Fvoting.record_vote fv stmt 1;
@@ -56,7 +56,7 @@ let test_fv_accept_via_quorum () =
 
 let test_fv_accept_requires_own_membership () =
   let sys = threshold_system 4 3 in
-  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) () in
   let stmt = Statement.Nominate (v [ 5 ]) in
   (* A quorum that does not include node 1 does not let 1 accept via
      the quorum arm. *)
@@ -68,7 +68,7 @@ let test_fv_accept_requires_own_membership () =
 
 let test_fv_accept_via_blocking () =
   let sys = threshold_system 4 3 in
-  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) () in
   let stmt = Statement.Nominate (v [ 5 ]) in
   (* v-blocking for threshold 3-of-4: leave fewer than 3 slots, i.e.
      any 2 of the other members. *)
@@ -83,7 +83,7 @@ let test_fv_accept_via_blocking () =
 
 let test_fv_confirm () =
   let sys = threshold_system 4 3 in
-  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) () in
   let stmt = Statement.Nominate (v [ 5 ]) in
   Fvoting.record_accept fv stmt 1;
   Fvoting.record_accept fv stmt 2;
@@ -95,7 +95,7 @@ let test_fv_confirm () =
 
 let test_fv_commit_implies_prepare_tally () =
   let sys = threshold_system 4 3 in
-  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) in
+  let fv = Fvoting.create ~self:1 ~system:(fun () -> sys) () in
   let b = Ballot.make 1 (v [ 5 ]) in
   Fvoting.record_vote fv (Statement.Commit b) 2;
   let tl = Fvoting.tally fv (Statement.Prepare b) in
