@@ -6,6 +6,9 @@
      dune exec bench/main.exe -- micro   -- bechamel microbenches only
                                             (writes BENCH_quorum.json)
      dune exec bench/main.exe -- markdown -- tables as markdown on stdout
+     dune exec bench/main.exe -- sweep   -- sequential-vs-parallel sweep
+                                            timings (writes
+                                            BENCH_sweep.json)
      dune exec bench/main.exe -- regen-experiments
                                          -- rewrite the generated-tables
                                             section of EXPERIMENTS.md
@@ -13,11 +16,16 @@
                                          -- exit 1 if EXPERIMENTS.md is
                                             out of date (CI guard)
 
+   Every mode accepts a trailing [--jobs N] (default 1; sweep defaults
+   to 4): experiment samples are then farmed out to a Simkit.Pool of N
+   worker processes. The tables are byte-identical for every N.
+
    One experiment table per paper artifact (figures, algorithms,
    theorems — see DESIGN.md §5), plus Bechamel microbenches for the hot
    kernels every experiment leans on. Microbench results are also
    persisted machine-readably to BENCH_quorum.json so the quorum-kernel
-   perf trajectory is tracked across PRs. *)
+   perf trajectory is tracked across PRs; BENCH_sweep.json tracks the
+   wall-clock win of the parallel sweep executor. *)
 
 open Graphkit
 open Bechamel
@@ -170,11 +178,97 @@ let bench_blocking_cascade =
   Test.make ~name:"analysis/blocking-cascade n=200" (Staged.stage (fun () ->
       ignore (Fbqs.Analysis.blocking_cascade sys ~down)))
 
+let subject_dset_check = "dset/is_dset n=10"
+let subject_dset_enum_baseline = "dset/is_dset-enum-baseline n=10"
+
+(* The seed's dset intersection check, kept as the baseline the pruned
+   minimal-quorum path is measured against: enumerate every quorum of
+   the deleted system (2^n subset tests) and check all pairs. *)
+let enum_baseline_is_dset sys b =
+  Fbqs.Dset.quorum_availability_despite sys b
+  &&
+  let quorums = Fbqs.Quorum.enum_quorums (Fbqs.Dset.delete sys b) in
+  List.for_all
+    (fun q1 ->
+      List.for_all
+        (fun q2 -> not (Pid.Set.is_empty (Pid.Set.inter q1 q2)))
+        quorums)
+    quorums
+
 let bench_dset_check =
   let sys = threshold_system 10 7 in
   let b = Pid.Set.of_range 1 2 in
-  Test.make ~name:"dset/is_dset n=10" (Staged.stage (fun () ->
+  Test.make ~name:subject_dset_check (Staged.stage (fun () ->
       ignore (Fbqs.Dset.is_dset sys b)))
+
+let bench_dset_enum_baseline =
+  let sys = threshold_system 10 7 in
+  let b = Pid.Set.of_range 1 2 in
+  Test.make ~name:subject_dset_enum_baseline (Staged.stage (fun () ->
+      ignore (enum_baseline_is_dset sys b)))
+
+let subject_engine_send_notrace = "engine/send-notrace x1000"
+let subject_engine_send_alloc = "engine/send-alloc-baseline x1000"
+
+(* One engine run flooding 1000 messages from node 1 to node 2 with no
+   trace sink attached. [legacy_alloc] replays the seed engine's
+   per-event cost model on top of the tuned engine: a trace field list
+   built (and the empty msg-field list appended) before discovering the
+   sink was [None], a [Hashtbl.find_opt] to dispatch on the destination
+   pid, and a fresh ctx record per delivery. The tuned engine skips all
+   three, so the gap between the two subjects is the trace-off hot-path
+   win. *)
+let engine_flood ~legacy_alloc () =
+  let eng =
+    Simkit.Engine.create ~delay:(Simkit.Delay.synchronous ~delta:1) ()
+  in
+  let legacy_nodes = Hashtbl.create 16 in
+  Hashtbl.replace legacy_nodes 1 "sender";
+  Hashtbl.replace legacy_nodes 2 "sink";
+  let discard x = ignore (Sys.opaque_identity x) in
+  let sender =
+    {
+      Simkit.Engine.idle_behavior with
+      on_start =
+        (fun ctx ->
+          for i = 1 to 1000 do
+            if legacy_alloc then
+              discard
+                ([
+                   ("src", Obs.Json.Int 1);
+                   ("dst", Obs.Json.Int 2);
+                   ("at", Obs.Json.Int i);
+                 ]
+                @ []);
+            Simkit.Engine.send ctx 2 i
+          done);
+    }
+  in
+  let sink =
+    {
+      Simkit.Engine.idle_behavior with
+      on_message =
+        (fun _ctx ~src payload ->
+          if legacy_alloc then begin
+            discard (Hashtbl.find_opt legacy_nodes 2);
+            discard (ref payload);
+            discard
+              ([ ("src", Obs.Json.Int src); ("dst", Obs.Json.Int payload) ]
+              @ [])
+          end);
+    }
+  in
+  Simkit.Engine.add_node eng 1 sender;
+  Simkit.Engine.add_node eng 2 sink;
+  ignore (Simkit.Engine.run eng)
+
+let bench_engine_send_notrace =
+  Test.make ~name:subject_engine_send_notrace
+    (Staged.stage (fun () -> engine_flood ~legacy_alloc:false ()))
+
+let bench_engine_send_alloc_baseline =
+  Test.make ~name:subject_engine_send_alloc
+    (Staged.stage (fun () -> engine_flood ~legacy_alloc:true ()))
 
 let bench_parse_roundtrip =
   let g = Generators.random_k_osr ~seed:9 ~sink_size:40 ~non_sink:40 ~k:3 () in
@@ -200,6 +294,9 @@ let microbenches =
       bench_scp_small_instance;
       bench_blocking_cascade;
       bench_dset_check;
+      bench_dset_enum_baseline;
+      bench_engine_send_notrace;
+      bench_engine_send_alloc_baseline;
       bench_parse_roundtrip;
     ]
 
@@ -261,6 +358,8 @@ let write_bench_json rows =
       [
         (subject_is_quorum_symbolic, subject_is_quorum_tree);
         (subject_inter_cardinal_dense, subject_inter_cardinal_tree);
+        (subject_dset_check, subject_dset_enum_baseline);
+        (subject_engine_send_notrace, subject_engine_send_alloc);
       ]
   in
   let oc = open_out bench_json_file in
@@ -332,14 +431,15 @@ let run_microbenches () =
 
 (* ---- experiment tables ----------------------------------------------- *)
 
-let experiments_markdown () =
-  let tables = Stellar_cup.Experiments.all ~seed:1 () in
+let experiments_markdown ~jobs () =
+  let tables = Stellar_cup.Experiments.all ~seed:1 ~jobs () in
   String.concat "" (List.map Stellar_cup.Report.to_markdown tables)
 
-let run_experiments ~markdown =
-  if markdown then print_string (experiments_markdown ())
+let run_experiments ~markdown ~jobs =
+  if markdown then print_string (experiments_markdown ~jobs ())
   else
-    List.iter Stellar_cup.Report.print (Stellar_cup.Experiments.all ~seed:1 ())
+    List.iter Stellar_cup.Report.print
+      (Stellar_cup.Experiments.all ~seed:1 ~jobs ())
 
 (* EXPERIMENTS.md is prose down to this marker line, generated tables
    below it; regeneration only touches the generated part, and the
@@ -380,7 +480,7 @@ let split_at_marker contents =
         ( String.sub contents 0 stop,
           String.sub contents stop (String.length contents - stop) )
 
-let regen_experiments () =
+let regen_experiments ~jobs =
   match split_at_marker (read_file experiments_file) with
   | None ->
       Printf.eprintf "error: no '%s' marker in %s\n" experiments_marker
@@ -390,18 +490,18 @@ let regen_experiments () =
       let oc = open_out_bin experiments_file in
       output_string oc head;
       output_string oc "\n";
-      output_string oc (experiments_markdown ());
+      output_string oc (experiments_markdown ~jobs ());
       close_out oc;
       Printf.printf "%s regenerated\n" experiments_file
 
-let check_experiments () =
+let check_experiments ~jobs =
   match split_at_marker (read_file experiments_file) with
   | None ->
       Printf.eprintf "error: no '%s' marker in %s\n" experiments_marker
         experiments_file;
       exit 2
   | Some (_, committed) ->
-      let expected = "\n" ^ experiments_markdown () in
+      let expected = "\n" ^ experiments_markdown ~jobs () in
       if String.equal committed expected then
         Printf.printf "%s is up to date\n" experiments_file
       else begin
@@ -412,16 +512,112 @@ let check_experiments () =
         exit 1
       end
 
+(* ---- sequential-vs-parallel sweep timings ---------------------------- *)
+
+let sweep_json_file = "BENCH_sweep.json"
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Larger-than-default sample counts so each experiment runs long enough
+   to amortise the pool's fork+marshal overhead. Every entry is rerun
+   sequentially and in parallel and the two rendered tables are
+   byte-compared — a sweep run doubles as a determinism gate. *)
+let sweep_experiments =
+  [
+    ( "e3",
+      12,
+      fun ~jobs ->
+        Stellar_cup.Experiments.e3_theorem2_violation ~seed:1 ~samples:12
+          ~jobs () );
+    ( "e5",
+      12,
+      fun ~jobs ->
+        Stellar_cup.Experiments.e5_availability ~seed:3 ~samples:12 ~jobs () );
+    ( "e6",
+      8,
+      fun ~jobs ->
+        Stellar_cup.Experiments.e6_sink_detector ~seed:4 ~samples:8 ~jobs () );
+    ( "e8",
+      8,
+      fun ~jobs ->
+        Stellar_cup.Experiments.e8_pipelines ~seed:6 ~samples:8 ~jobs () );
+  ]
+
+let run_sweep ~jobs =
+  Format.printf "== Sweep executor: sequential vs --jobs %d ==@." jobs;
+  let rows =
+    List.map
+      (fun (name, samples, run) ->
+        let seq, seq_s = timed (fun () -> run ~jobs:1) in
+        let par, par_s = timed (fun () -> run ~jobs) in
+        if
+          not
+            (String.equal
+               (Stellar_cup.Report.to_markdown seq)
+               (Stellar_cup.Report.to_markdown par))
+        then begin
+          Printf.eprintf
+            "error: %s with --jobs %d diverges from the sequential run\n" name
+            jobs;
+          exit 1
+        end;
+        Format.printf
+          "%-4s samples=%-3d seq %6.2fs  jobs=%d %6.2fs  speedup %.2fx@." name
+          samples seq_s jobs par_s (seq_s /. par_s);
+        (name, samples, seq_s, par_s))
+      sweep_experiments
+  in
+  let oc = open_out sweep_json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"stellar-cup/bench-sweep/v1\",\n";
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"unit\": \"seconds_wall_clock\",\n";
+  out "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, samples, seq_s, par_s) ->
+      out
+        "    {\"name\": \"%s\", \"samples\": %d, \"sequential_s\": %.3f, \
+         \"parallel_s\": %.3f, \"speedup\": %.2f, \"identical\": true}%s\n"
+        (json_escape name) samples seq_s par_s (seq_s /. par_s)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Format.printf "results written to %s@." sweep_json_file
+
 (* ---- main ------------------------------------------------------------ *)
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let jobs = ref None in
+  let positional = ref [] in
+  let i = ref 1 in
+  while !i < Array.length Sys.argv do
+    (match Sys.argv.(!i) with
+    | "--jobs" when !i + 1 < Array.length Sys.argv ->
+        incr i;
+        jobs :=
+          Some
+            (try int_of_string Sys.argv.(!i)
+             with Failure _ ->
+               Printf.eprintf "error: --jobs expects an integer\n";
+               exit 2)
+    | a -> positional := a :: !positional);
+    incr i
+  done;
+  let mode = match List.rev !positional with m :: _ -> m | [] -> "all" in
+  let jobs_or default = max 1 (Option.value ~default !jobs) in
   match mode with
-  | "exp" -> run_experiments ~markdown:false
-  | "markdown" -> run_experiments ~markdown:true
-  | "regen-experiments" -> regen_experiments ()
-  | "check-experiments" -> check_experiments ()
+  | "exp" -> run_experiments ~markdown:false ~jobs:(jobs_or 1)
+  | "markdown" -> run_experiments ~markdown:true ~jobs:(jobs_or 1)
+  | "regen-experiments" -> regen_experiments ~jobs:(jobs_or 1)
+  | "check-experiments" -> check_experiments ~jobs:(jobs_or 1)
   | "micro" -> run_microbenches ()
+  | "sweep" -> run_sweep ~jobs:(jobs_or 4)
   | _ ->
-      run_experiments ~markdown:false;
+      run_experiments ~markdown:false ~jobs:(jobs_or 1);
       run_microbenches ()

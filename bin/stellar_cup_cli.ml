@@ -90,6 +90,14 @@ let faulty_term =
 let json_term =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
+let jobs_term =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Worker processes for independent sub-runs (experiment \
+              samples, --samples sweeps). Output is byte-identical to \
+              --jobs 1; parallelism only buys wall-clock.")
+
 (* ---- observability plumbing ------------------------------------------- *)
 
 let timing_term =
@@ -183,36 +191,98 @@ let verdict_json (v : Stellar_cup.Pipeline.verdict) =
       ("total_time", Obs.Json.Int v.total_time);
     ]
 
-let run_consensus spec faulty_ids pipeline timing trace_path want_metrics json
-    =
+let stack_of_pipeline = function
+  | "scp-local" -> Stellar_cup.Pipeline.Scp_local
+  | "scp-sd" -> Stellar_cup.Pipeline.Scp_sink_detector
+  | "bftcup" -> Stellar_cup.Pipeline.Bftcup
+  | other -> failwith (Printf.sprintf "unknown pipeline %S" other)
+
+let run_consensus spec faulty_ids pipeline timing trace_path want_metrics
+    samples jobs json =
   let g = build_graph spec in
   let faulty = Pid.Set.of_list faulty_ids in
   let initial_value_of i = Scp.Value.of_ints [ i ] in
-  let cfg, finish = configure_run spec timing trace_path want_metrics in
-  let verdict =
-    match pipeline with
-    | "scp-local" ->
-        Stellar_cup.Pipeline.scp_with_local_slices ~cfg ~graph:g ~f:spec.f
-          ~faulty ~initial_value_of ()
-    | "scp-sd" ->
-        Stellar_cup.Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f:spec.f
-          ~faulty ~initial_value_of ()
-    | "bftcup" ->
-        Stellar_cup.Pipeline.bftcup ~cfg ~graph:g ~f:spec.f ~faulty
-          ~initial_value_of ()
-    | other -> failwith (Printf.sprintf "unknown pipeline %S" other)
-  in
-  let obs_fields, metrics = finish () in
-  if json then
-    print_json
-      (Obs.Json.Obj
-         (("pipeline", Obs.Json.String pipeline)
-          :: ("seed", Obs.Json.Int spec.seed)
-          :: ("verdict", verdict_json verdict)
-          :: obs_fields))
+  let stack = stack_of_pipeline pipeline in
+  if samples > 1 then begin
+    (* A seed sweep: [samples] independent instances at seed, seed+1, …
+       run through the worker pool. Per-run sinks don't compose with
+       multi-process sweeps, so the observability flags are refused
+       rather than silently dropped. *)
+    if trace_path <> None || want_metrics then
+      failwith "--trace/--metrics apply to single runs; drop --samples";
+    let cfg, _ = configure_run spec timing None false in
+    let verdicts =
+      Stellar_cup.Pipeline.sweep ~jobs ~cfg ~stack ~graph:g ~f:spec.f ~faulty
+        ~initial_value_of
+        (List.init samples (fun k -> spec.seed + k))
+    in
+    let all_ok =
+      List.for_all
+        (fun (_, (v : Stellar_cup.Pipeline.verdict)) ->
+          v.all_decided && v.agreement && v.validity)
+        verdicts
+    in
+    if json then
+      print_json
+        (Obs.Json.Obj
+           [
+             ("pipeline", Obs.Json.String pipeline);
+             ("samples", Obs.Json.Int samples);
+             ("jobs", Obs.Json.Int jobs);
+             ("all_consensus", Obs.Json.Bool all_ok);
+             ( "runs",
+               Obs.Json.List
+                 (List.map
+                    (fun (seed, v) ->
+                      Obs.Json.Obj
+                        [
+                          ("seed", Obs.Json.Int seed);
+                          ("verdict", verdict_json v);
+                        ])
+                    verdicts) );
+           ])
+    else begin
+      List.iter
+        (fun (seed, v) ->
+          Format.printf "%s seed=%d: %a@." pipeline seed
+            Stellar_cup.Pipeline.pp_verdict v)
+        verdicts;
+      Format.printf "sweep: %d/%d runs reached consensus@."
+        (List.length
+           (List.filter
+              (fun (_, (v : Stellar_cup.Pipeline.verdict)) ->
+                v.all_decided && v.agreement && v.validity)
+              verdicts))
+        samples
+    end
+  end
   else begin
-    Format.printf "%s: %a@." pipeline Stellar_cup.Pipeline.pp_verdict verdict;
-    Option.iter (Format.printf "%a@." Obs.Metrics.pp) metrics
+    let cfg, finish = configure_run spec timing trace_path want_metrics in
+    let verdict =
+      match stack with
+      | Stellar_cup.Pipeline.Scp_local ->
+          Stellar_cup.Pipeline.scp_with_local_slices ~cfg ~graph:g ~f:spec.f
+            ~faulty ~initial_value_of ()
+      | Stellar_cup.Pipeline.Scp_sink_detector ->
+          Stellar_cup.Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f:spec.f
+            ~faulty ~initial_value_of ()
+      | Stellar_cup.Pipeline.Bftcup ->
+          Stellar_cup.Pipeline.bftcup ~cfg ~graph:g ~f:spec.f ~faulty
+            ~initial_value_of ()
+    in
+    let obs_fields, metrics = finish () in
+    if json then
+      print_json
+        (Obs.Json.Obj
+           (("pipeline", Obs.Json.String pipeline)
+            :: ("seed", Obs.Json.Int spec.seed)
+            :: ("verdict", verdict_json verdict)
+            :: obs_fields))
+    else begin
+      Format.printf "%s: %a@." pipeline Stellar_cup.Pipeline.pp_verdict
+        verdict;
+      Option.iter (Format.printf "%a@." Obs.Metrics.pp) metrics
+    end
   end
 
 let pipeline_term =
@@ -223,14 +293,23 @@ let pipeline_term =
         ~doc:"Consensus stack: scp-local (Theorem 2 strawman), scp-sd \
               (Corollary 2) or bftcup (baseline).")
 
+let samples_term =
+  Arg.(
+    value & opt int 1
+    & info [ "samples" ] ~docv:"N"
+        ~doc:"Run $(docv) independent instances at seeds seed, seed+1, … \
+              (a sweep); combine with --jobs to run them in parallel.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run one consensus instance end to end (with optional \
-             structured trace and metrics)")
+             structured trace and metrics), or a multi-seed sweep with \
+             --samples/--jobs")
     Term.(
       const run_consensus $ graph_term $ faulty_term $ pipeline_term
-      $ timing_term $ trace_term $ metrics_term $ json_term)
+      $ timing_term $ trace_term $ metrics_term $ samples_term $ jobs_term
+      $ json_term)
 
 (* ---- sink run ---------------------------------------------------------- *)
 
@@ -408,30 +487,35 @@ let graph_cmd =
 
 (* ---- experiment -------------------------------------------------------- *)
 
-let experiments : (string * (unit -> Stellar_cup.Report.t)) list =
+let experiments : (string * (jobs:int -> Stellar_cup.Report.t)) list =
   [
-    ("e1", Stellar_cup.Experiments.e1_fig1_example);
-    ("e2", fun () -> Stellar_cup.Experiments.e2_is_quorum ());
-    ("e3", fun () -> Stellar_cup.Experiments.e3_theorem2_violation ());
-    ("e4", fun () -> Stellar_cup.Experiments.e4_algorithm2_intertwined ());
-    ("e4b", Stellar_cup.Experiments.e4b_threshold_ablation);
-    ("e5", fun () -> Stellar_cup.Experiments.e5_availability ());
-    ("e6", fun () -> Stellar_cup.Experiments.e6_sink_detector ());
-    ("e7", fun () -> Stellar_cup.Experiments.e7_reachable_broadcast ());
-    ("e8", fun () -> Stellar_cup.Experiments.e8_pipelines ());
-    ("e9", fun () -> Stellar_cup.Experiments.e9_graph_machinery ());
-    ("e10", fun () -> Stellar_cup.Experiments.e10_restricted_oracle ());
-    ("e11", fun () -> Stellar_cup.Experiments.e11_gst_sweep ());
-    ("e12", fun () -> Stellar_cup.Experiments.e12_nomination_ablation ());
+    ("e1", fun ~jobs:_ -> Stellar_cup.Experiments.e1_fig1_example ());
+    ("e2", fun ~jobs:_ -> Stellar_cup.Experiments.e2_is_quorum ());
+    ("e3", fun ~jobs -> Stellar_cup.Experiments.e3_theorem2_violation ~jobs ());
+    ( "e4",
+      fun ~jobs -> Stellar_cup.Experiments.e4_algorithm2_intertwined ~jobs ()
+    );
+    ("e4b", fun ~jobs:_ -> Stellar_cup.Experiments.e4b_threshold_ablation ());
+    ("e5", fun ~jobs -> Stellar_cup.Experiments.e5_availability ~jobs ());
+    ("e6", fun ~jobs -> Stellar_cup.Experiments.e6_sink_detector ~jobs ());
+    ( "e7",
+      fun ~jobs -> Stellar_cup.Experiments.e7_reachable_broadcast ~jobs () );
+    ("e8", fun ~jobs -> Stellar_cup.Experiments.e8_pipelines ~jobs ());
+    ("e9", fun ~jobs:_ -> Stellar_cup.Experiments.e9_graph_machinery ());
+    ( "e10",
+      fun ~jobs -> Stellar_cup.Experiments.e10_restricted_oracle ~jobs () );
+    ("e11", fun ~jobs -> Stellar_cup.Experiments.e11_gst_sweep ~jobs ());
+    ( "e12",
+      fun ~jobs -> Stellar_cup.Experiments.e12_nomination_ablation ~jobs () );
   ]
 
-let experiment_show which markdown json =
+let experiment_show which markdown jobs json =
   let tables =
     match which with
-    | "all" -> List.map (fun (_, k) -> k ()) experiments
+    | "all" -> List.map (fun (_, k) -> k ~jobs) experiments
     | id -> (
         match List.assoc_opt id experiments with
-        | Some k -> [ k () ]
+        | Some k -> [ k ~jobs ]
         | None -> failwith (Printf.sprintf "unknown experiment %S" id))
   in
   if json then
@@ -459,7 +543,7 @@ let experiment_show_cmd =
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Regenerate a paper artifact")
-    Term.(const experiment_show $ which $ markdown $ json_term)
+    Term.(const experiment_show $ which $ markdown $ jobs_term $ json_term)
 
 let experiment_list_cmd =
   Cmd.v

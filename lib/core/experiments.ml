@@ -6,6 +6,41 @@ let set_str = Pid.Set.to_string
 
 let own_value i = Scp.Value.of_ints [ i ]
 
+(* ------------------------------------------------- parallel sampling *)
+
+(* Every sampled experiment below is a list of parameter rows, each
+   aggregating [samples] independent runs, and each run a pure function
+   of (param, k). [sampled ~jobs params ~samples job] evaluates the
+   whole param × sample grid through {!Simkit.Pool.map} — one flat job
+   list, so workers stay busy across row boundaries — and hands each
+   param its sample results back in order. The reduce is sequential and
+   ordered, so the rendered tables are byte-identical for every [jobs]
+   value. *)
+let sampled ~jobs params ~samples job =
+  let grid =
+    List.concat_map (fun p -> List.init samples (fun k -> (p, k))) params
+  in
+  let results = Simkit.Pool.map ~jobs (fun (p, k) -> job p k) grid in
+  let rec take n l =
+    if n = 0 then ([], l)
+    else
+      match l with
+      | x :: tl ->
+          let mine, rest = take (n - 1) tl in
+          (x :: mine, rest)
+      | [] -> assert false
+  in
+  let rec group ps rs =
+    match ps with
+    | [] -> []
+    | p :: tl ->
+        let mine, rest = take samples rs in
+        (p, mine) :: group tl rest
+  in
+  group params results
+
+let count_true l = List.length (List.filter Fun.id l)
+
 (* ---------------------------------------------------------------- E1 *)
 
 let e1_fig1_example () =
@@ -138,46 +173,44 @@ let live_violation ~seed ~graph ~sink_size ~f =
   in
   v.all_decided && not v.agreement
 
-let e3_theorem2_violation ?(seed = 1) ?(samples = 5) () =
+let e3_theorem2_violation ?(seed = 1) ?(samples = 5) ?(jobs = 1) () =
   let fig2_witness = Theorems.theorem2_witness ~f:1 Builtin.fig2 in
   (* Builtin.fig2 numbers its sink 1..4, the family numbers it 0..s-1;
      the live demos run on the family form to share the split logic. *)
   let family_rows =
     List.map
-      (fun (s, m, f) ->
+      (fun ((s, m, f), lives) ->
         let g = Generators.fig2_family ~sink_size:s ~non_sink:m in
         let witness = Theorems.theorem2_witness ~f g <> None in
-        let live = ref 0 in
-        for k = 0 to samples - 1 do
-          if live_violation ~seed:(seed + k) ~graph:g ~sink_size:s ~f then
-            incr live
-        done;
         [
           "fig2-family";
           Printf.sprintf "s=%d m=%d f=%d" s m f;
           yn witness;
-          frac !live samples;
+          frac (count_true lives) samples;
         ])
-      [ (4, 3, 1); (5, 4, 1); (6, 5, 1); (7, 5, 2) ]
+      (sampled ~jobs ~samples
+         [ (4, 3, 1); (5, 4, 1); (6, 5, 1); (7, 5, 2) ]
+         (fun (s, m, f) k ->
+           let g = Generators.fig2_family ~sink_size:s ~non_sink:m in
+           live_violation ~seed:(seed + k) ~graph:g ~sink_size:s ~f))
   in
   let random_rows =
     List.map
-      (fun (s, m, f) ->
-        let witnesses = ref 0 in
-        for k = 0 to samples - 1 do
-          let g =
-            Generators.random_k_osr ~seed:(seed + k) ~sink_size:s ~non_sink:m
-              ~k:((2 * f) + 1) ()
-          in
-          if Theorems.theorem2_witness ~f g <> None then incr witnesses
-        done;
+      (fun ((s, m, f), witnesses) ->
         [
           "random k-OSR";
           Printf.sprintf "s=%d m=%d f=%d" s m f;
-          Printf.sprintf "%d of %d graphs" !witnesses samples;
+          Printf.sprintf "%d of %d graphs" (count_true witnesses) samples;
           "-";
         ])
-      [ (4, 3, 1); (6, 5, 1) ]
+      (sampled ~jobs ~samples
+         [ (4, 3, 1); (6, 5, 1) ]
+         (fun (s, m, f) k ->
+           let g =
+             Generators.random_k_osr ~seed:(seed + k) ~sink_size:s ~non_sink:m
+               ~k:((2 * f) + 1) ()
+           in
+           Theorems.theorem2_witness ~f g <> None))
   in
   Report.make ~id:"E3"
     ~title:"Theorem 2: local slices break quorum intersection"
@@ -194,20 +227,21 @@ let e3_theorem2_violation ?(seed = 1) ?(samples = 5) () =
 
 (* ---------------------------------------------------------------- E4 *)
 
-let e4_algorithm2_intertwined ?(seed = 2) ?(samples = 5) () =
+let e4_algorithm2_intertwined ?(seed = 2) ?(samples = 5) ?(jobs = 1) () =
   let check_graph g f =
     let sys = Cup.Slice_builder.system_via_oracle ~f g in
     Theorems.theorem3_holds ~f sys (Digraph.vertices g)
   in
   let family_row name make params =
     List.map
-      (fun (s, m, f) ->
-        let ok = ref 0 in
-        for k = 0 to samples - 1 do
-          if check_graph (make ~s ~m ~f ~seed:(seed + k)) f then incr ok
-        done;
-        [ name; Printf.sprintf "s=%d m=%d f=%d" s m f; frac !ok samples ])
-      params
+      (fun ((s, m, f), oks) ->
+        [
+          name;
+          Printf.sprintf "s=%d m=%d f=%d" s m f;
+          frac (count_true oks) samples;
+        ])
+      (sampled ~jobs ~samples params (fun (s, m, f) k ->
+           check_graph (make ~s ~m ~f ~seed:(seed + k)) f))
   in
   let fig2_fixed ~s:_ ~m:_ ~f:_ ~seed:_ = Builtin.fig2 in
   let family ~s ~m ~f:_ ~seed:_ = Generators.fig2_family ~sink_size:s ~non_sink:m in
@@ -266,7 +300,7 @@ let e4b_threshold_ablation () =
 
 (* ---------------------------------------------------------------- E5 *)
 
-let e5_availability ?(seed = 3) ?(samples = 5) () =
+let e5_availability ?(seed = 3) ?(samples = 5) ?(jobs = 1) () =
   let placements g ~sink ~f =
     let vertices = Digraph.vertices g in
     let non_sink = Pid.Set.diff vertices sink in
@@ -280,26 +314,25 @@ let e5_availability ?(seed = 3) ?(samples = 5) () =
   in
   let rows =
     List.concat_map
-      (fun (s, m, f) ->
-        List.concat_map
-          (fun k ->
-            let g, sink =
-              Generators.random_byzantine_safe ~seed:(seed + k) ~f
-                ~sink_size:s ~non_sink:m ()
-            in
-            let sys = Cup.Slice_builder.system_via_oracle ~f g in
-            List.map
-              (fun (name, faulty) ->
-                let correct = Pid.Set.diff (Digraph.vertices g) faulty in
-                [
-                  Printf.sprintf "s=%d m=%d f=%d #%d" s m f k;
-                  name;
-                  yn (Theorems.theorem4_holds ~f ~correct sys);
-                  yn (Theorems.theorem5_holds ~f ~correct sys);
-                ])
-              (placements g ~sink ~f))
-          (List.init samples (fun i -> i)))
-      [ (5, 3, 1); (8, 4, 2) ]
+      (fun (_, per_sample) -> List.concat per_sample)
+      (sampled ~jobs ~samples
+         [ (5, 3, 1); (8, 4, 2) ]
+         (fun (s, m, f) k ->
+           let g, sink =
+             Generators.random_byzantine_safe ~seed:(seed + k) ~f ~sink_size:s
+               ~non_sink:m ()
+           in
+           let sys = Cup.Slice_builder.system_via_oracle ~f g in
+           List.map
+             (fun (name, faulty) ->
+               let correct = Pid.Set.diff (Digraph.vertices g) faulty in
+               [
+                 Printf.sprintf "s=%d m=%d f=%d #%d" s m f k;
+                 name;
+                 yn (Theorems.theorem4_holds ~f ~correct sys);
+                 yn (Theorems.theorem5_holds ~f ~correct sys);
+               ])
+             (placements g ~sink ~f)))
   in
   Report.make ~id:"E5"
     ~title:"Theorems 4-5: availability and the grand consensus cluster"
@@ -309,44 +342,43 @@ let e5_availability ?(seed = 3) ?(samples = 5) () =
 
 (* ---------------------------------------------------------------- E6 *)
 
-let e6_sink_detector ?(seed = 4) ?(samples = 3) () =
-  let row (s, m, f) ~with_fault =
-    let msgs = ref 0 and time = ref 0 and ok = ref 0 and runs = ref 0 in
-    for k = 0 to samples - 1 do
-      let g, sink =
-        Generators.random_byzantine_safe ~seed:(seed + k) ~f ~sink_size:s
-          ~non_sink:m ()
-      in
-      let faulty =
-        if with_fault then Generators.random_faulty_set ~seed:(seed + k) ~f g
-        else Pid.Set.empty
-      in
-      let fault_of i =
-        if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
-      in
-      let r =
-        Cup.Sink_protocol.run ~seed:(seed + k) ~graph:g ~f ~fault_of ()
-      in
-      incr runs;
-      msgs := !msgs + r.stats.messages_sent;
-      time := !time + r.stats.end_time;
-      let correct = Pid.Set.diff (Digraph.vertices g) faulty in
-      if
-        Pid.Set.for_all
-          (fun i ->
-            match Pid.Map.find_opt i r.answers with
-            | None -> false
-            | Some a ->
-                a.in_sink = Pid.Set.mem i sink && Pid.Set.subset a.view sink)
-          correct
-      then incr ok
-    done;
+let e6_sink_detector ?(seed = 4) ?(samples = 3) ?(jobs = 1) () =
+  let sample ((s, m, f), with_fault) k =
+    let g, sink =
+      Generators.random_byzantine_safe ~seed:(seed + k) ~f ~sink_size:s
+        ~non_sink:m ()
+    in
+    let faulty =
+      if with_fault then Generators.random_faulty_set ~seed:(seed + k) ~f g
+      else Pid.Set.empty
+    in
+    let fault_of i =
+      if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
+    in
+    let r = Cup.Sink_protocol.run ~seed:(seed + k) ~graph:g ~f ~fault_of () in
+    let correct = Pid.Set.diff (Digraph.vertices g) faulty in
+    let accurate =
+      Pid.Set.for_all
+        (fun i ->
+          match Pid.Map.find_opt i r.answers with
+          | None -> false
+          | Some a ->
+              a.in_sink = Pid.Set.mem i sink && Pid.Set.subset a.view sink)
+        correct
+    in
+    (r.stats.messages_sent, r.stats.end_time, accurate)
+  in
+  let row (((s, m, f), with_fault), results) =
+    let runs = List.length results in
+    let msgs = List.fold_left (fun acc (m, _, _) -> acc + m) 0 results in
+    let time = List.fold_left (fun acc (_, t, _) -> acc + t) 0 results in
+    let ok = count_true (List.map (fun (_, _, a) -> a) results) in
     [
       Printf.sprintf "s=%d m=%d f=%d" s m f;
       (if with_fault then "f silent" else "fault-free");
-      frac !ok !runs;
-      string_of_int (!msgs / !runs);
-      string_of_int (!time / !runs);
+      frac ok runs;
+      string_of_int (msgs / runs);
+      string_of_int (time / runs);
     ]
   in
   let params = [ (5, 2, 1); (5, 4, 1); (6, 6, 1); (8, 8, 2) ] in
@@ -358,8 +390,11 @@ let e6_sink_detector ?(seed = 4) ?(samples = 3) () =
         "accuracy must be 100%; cost grows with n (knowledge exchange is \
          quadratic in the sink, flooding adds the non-sink diameter)";
       ]
-    (List.map (fun p -> row p ~with_fault:false) params
-    @ List.map (fun p -> row p ~with_fault:true) params)
+    (List.map row
+       (sampled ~jobs ~samples
+          (List.map (fun p -> (p, false)) params
+          @ List.map (fun p -> (p, true)) params)
+          sample))
 
 (* ---------------------------------------------------------------- E7 *)
 
@@ -398,37 +433,39 @@ let rb_drive ~f g =
     (Digraph.vertices g);
   (!sent, !delivered)
 
-let e7_reachable_broadcast ?(seed = 5) ?(samples = 3) () =
+let e7_reachable_broadcast ?(seed = 5) ?(samples = 3) ?(jobs = 1) () =
+  let sample (s, m, f) k =
+    let g, sink =
+      Generators.random_byzantine_safe ~seed:(seed + k) ~f ~sink_size:s
+        ~non_sink:m ()
+    in
+    let sent, delivered = rb_drive ~f g in
+    let expected = ref 0 and got = ref 0 in
+    Pid.Set.iter
+      (fun origin ->
+        Pid.Set.iter
+          (fun dst ->
+            if not (Pid.equal dst origin) then begin
+              incr expected;
+              if List.mem (dst, origin) delivered then incr got
+            end)
+          sink)
+      (Digraph.vertices g);
+    (sent, !expected, !got)
+  in
   let rows =
     List.map
-      (fun (s, m, f) ->
-        let total_expected = ref 0
-        and total_got = ref 0
-        and msgs = ref 0 in
-        for k = 0 to samples - 1 do
-          let g, sink =
-            Generators.random_byzantine_safe ~seed:(seed + k) ~f ~sink_size:s
-              ~non_sink:m ()
-          in
-          let sent, delivered = rb_drive ~f g in
-          msgs := !msgs + sent;
-          Pid.Set.iter
-            (fun origin ->
-              Pid.Set.iter
-                (fun dst ->
-                  if not (Pid.equal dst origin) then begin
-                    incr total_expected;
-                    if List.mem (dst, origin) delivered then incr total_got
-                  end)
-                sink)
-            (Digraph.vertices g)
-        done;
+      (fun ((s, m, f), results) ->
+        let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
         [
           Printf.sprintf "s=%d m=%d f=%d" s m f;
-          frac !total_got !total_expected;
-          string_of_int (!msgs / samples);
+          frac
+            (sum (fun (_, _, g) -> g))
+            (sum (fun (_, e, _) -> e));
+          string_of_int (sum (fun (s, _, _) -> s) / samples);
         ])
-      [ (5, 2, 1); (5, 4, 1); (6, 6, 1); (8, 6, 2) ]
+      (sampled ~jobs ~samples [ (5, 2, 1); (5, 4, 1); (6, 6, 1); (8, 6, 2) ]
+         sample)
   in
   Report.make ~id:"E7"
     ~title:"Reachable-reliable broadcast: sink delivery and traffic"
@@ -442,41 +479,40 @@ let e7_reachable_broadcast ?(seed = 5) ?(samples = 3) () =
 
 (* ---------------------------------------------------------------- E8 *)
 
-let e8_pipelines ?(seed = 6) ?(samples = 3) () =
+let e8_pipelines ?(seed = 6) ?(samples = 3) ?(jobs = 1) () =
+  let sample (s, m, f) k =
+    let g, _sink =
+      Generators.random_byzantine_safe ~seed:(seed + k) ~f ~sink_size:s
+        ~non_sink:m ()
+    in
+    let faulty = Generators.random_faulty_set ~seed:(seed + k) ~f g in
+    let run name pipeline =
+      let (v : Pipeline.verdict) = pipeline () in
+      [
+        Printf.sprintf "n=%d f=%d #%d" (s + m) f k;
+        name;
+        yn (v.all_decided && v.agreement && v.validity);
+        string_of_int v.discovery_msgs;
+        string_of_int v.consensus_msgs;
+        string_of_int v.total_time;
+      ]
+    in
+    let cfg =
+      Simkit.Run_config.with_seed (seed + k) Simkit.Run_config.default
+    in
+    [
+      run "SCP + sink detector" (fun () ->
+          Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f ~faulty
+            ~initial_value_of:own_value ());
+      run "BFT-CUP" (fun () ->
+          Pipeline.bftcup ~cfg ~graph:g ~f ~faulty ~initial_value_of:own_value
+            ());
+    ]
+  in
   let rows =
     List.concat_map
-      (fun (s, m, f) ->
-        List.concat_map
-          (fun k ->
-            let g, _sink =
-              Generators.random_byzantine_safe ~seed:(seed + k) ~f
-                ~sink_size:s ~non_sink:m ()
-            in
-            let faulty = Generators.random_faulty_set ~seed:(seed + k) ~f g in
-            let run name pipeline =
-              let (v : Pipeline.verdict) = pipeline () in
-              [
-                Printf.sprintf "n=%d f=%d #%d" (s + m) f k;
-                name;
-                yn (v.all_decided && v.agreement && v.validity);
-                string_of_int v.discovery_msgs;
-                string_of_int v.consensus_msgs;
-                string_of_int v.total_time;
-              ]
-            in
-            let cfg =
-              Simkit.Run_config.with_seed (seed + k) Simkit.Run_config.default
-            in
-            [
-              run "SCP + sink detector" (fun () ->
-                  Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f ~faulty
-                    ~initial_value_of:own_value ());
-              run "BFT-CUP" (fun () ->
-                  Pipeline.bftcup ~cfg ~graph:g ~f ~faulty
-                    ~initial_value_of:own_value ());
-            ])
-          (List.init samples (fun i -> i)))
-      [ (5, 3, 1); (5, 4, 1); (6, 6, 1) ]
+      (fun (_, per_sample) -> List.concat per_sample)
+      (sampled ~jobs ~samples [ (5, 3, 1); (5, 4, 1); (6, 6, 1) ] sample)
   in
   Report.make ~id:"E8"
     ~title:"End-to-end: SCP+SD (Corollary 2) vs the BFT-CUP baseline"
@@ -535,33 +571,32 @@ let e9_graph_machinery ?(seed = 8) () =
 
 (* --------------------------------------------------------------- E10 *)
 
-let e10_restricted_oracle ?(seed = 9) ?(samples = 3) () =
+let e10_restricted_oracle ?(seed = 9) ?(samples = 3) ?(jobs = 1) () =
   (* Definition 8 permits a minimal answer to non-sink members: just
      f+1 correct sink ids (possibly plus f faulty ones). Theorems 3-5
      must survive this weakest-legal oracle. *)
   let rows =
     List.concat_map
-      (fun (s, m, f) ->
-        List.map
-          (fun k ->
-            let g, _sink =
-              Generators.random_byzantine_safe ~seed:(seed + k) ~f
-                ~sink_size:s ~non_sink:m ()
-            in
-            let faulty = Generators.random_faulty_set ~seed:(seed + k) ~f g in
-            let correct = Pid.Set.diff (Digraph.vertices g) faulty in
-            let oracle =
-              Cup.Sink_oracle.get_sink_restricted ~seed:(seed + k) ~f ~correct g
-            in
-            let sys = Cup.Slice_builder.system_via_oracle ~oracle ~f g in
-            [
-              Printf.sprintf "s=%d m=%d f=%d #%d" s m f k;
-              yn (Theorems.theorem3_holds ~f sys (Digraph.vertices g));
-              yn (Theorems.theorem4_holds ~f ~correct sys);
-              yn (Theorems.theorem5_holds ~f ~correct sys);
-            ])
-          (List.init samples (fun i -> i)))
-      [ (5, 3, 1); (8, 4, 2) ]
+      (fun (_, per_sample) -> per_sample)
+      (sampled ~jobs ~samples
+         [ (5, 3, 1); (8, 4, 2) ]
+         (fun (s, m, f) k ->
+           let g, _sink =
+             Generators.random_byzantine_safe ~seed:(seed + k) ~f ~sink_size:s
+               ~non_sink:m ()
+           in
+           let faulty = Generators.random_faulty_set ~seed:(seed + k) ~f g in
+           let correct = Pid.Set.diff (Digraph.vertices g) faulty in
+           let oracle =
+             Cup.Sink_oracle.get_sink_restricted ~seed:(seed + k) ~f ~correct g
+           in
+           let sys = Cup.Slice_builder.system_via_oracle ~oracle ~f g in
+           [
+             Printf.sprintf "s=%d m=%d f=%d #%d" s m f k;
+             yn (Theorems.theorem3_holds ~f sys (Digraph.vertices g));
+             yn (Theorems.theorem4_holds ~f ~correct sys);
+             yn (Theorems.theorem5_holds ~f ~correct sys);
+           ]))
   in
   Report.make ~id:"E10"
     ~title:"Ablation: the weakest Definition-8 oracle (f+1-member views)"
@@ -576,38 +611,35 @@ let e10_restricted_oracle ?(seed = 9) ?(samples = 3) () =
 
 (* --------------------------------------------------------------- E11 *)
 
-let e11_gst_sweep ?(seed = 10) ?(samples = 2) () =
+let e11_gst_sweep ?(seed = 10) ?(samples = 2) ?(jobs = 1) () =
   (* Decision latency of the full Corollary-2 stack as the asynchronous
      period grows: time-to-decide should track GST (protocols cannot
      terminate reliably before stabilization), while message counts
      stay in the same band. *)
   let rows =
     List.concat_map
-      (fun gst ->
-        List.map
-          (fun k ->
-            let f = 1 in
-            let g, _ =
-              Generators.random_byzantine_safe ~seed:(seed + k) ~f
-                ~sink_size:5 ~non_sink:3 ()
-            in
-            let faulty = Generators.random_faulty_set ~seed:(seed + k) ~f g in
-            let cfg =
-              { Simkit.Run_config.default with seed = seed + k; gst; delta = 5 }
-            in
-            let v =
-              Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f ~faulty
-                ~initial_value_of:own_value ()
-            in
-            [
-              string_of_int gst;
-              Printf.sprintf "#%d" k;
-              yn (v.all_decided && v.agreement);
-              string_of_int (v.discovery_msgs + v.consensus_msgs);
-              string_of_int v.total_time;
-            ])
-          (List.init samples (fun i -> i)))
-      [ 0; 50; 200; 500 ]
+      (fun (_, per_sample) -> per_sample)
+      (sampled ~jobs ~samples [ 0; 50; 200; 500 ] (fun gst k ->
+           let f = 1 in
+           let g, _ =
+             Generators.random_byzantine_safe ~seed:(seed + k) ~f ~sink_size:5
+               ~non_sink:3 ()
+           in
+           let faulty = Generators.random_faulty_set ~seed:(seed + k) ~f g in
+           let cfg =
+             { Simkit.Run_config.default with seed = seed + k; gst; delta = 5 }
+           in
+           let v =
+             Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f ~faulty
+               ~initial_value_of:own_value ()
+           in
+           [
+             string_of_int gst;
+             Printf.sprintf "#%d" k;
+             yn (v.all_decided && v.agreement);
+             string_of_int (v.discovery_msgs + v.consensus_msgs);
+             string_of_int v.total_time;
+           ]))
   in
   Report.make ~id:"E11"
     ~title:"GST sweep: Corollary 2 stack latency under longer asynchrony"
@@ -621,14 +653,13 @@ let e11_gst_sweep ?(seed = 10) ?(samples = 2) () =
 
 (* --------------------------------------------------------------- E12 *)
 
-let e12_nomination_ablation ?(seed = 12) ?(samples = 2) () =
+let e12_nomination_ablation ?(seed = 12) ?(samples = 2) ?(jobs = 1) () =
   (* Stellar's leader-priority nomination vs the naive echo-everything
      strategy: same safety, far fewer messages. *)
   let rows =
     List.concat_map
-      (fun n ->
-        List.concat_map
-          (fun k ->
+      (fun (_, per_sample) -> List.concat per_sample)
+      (sampled ~jobs ~samples [ 4; 7; 10 ] (fun n k ->
             let members = Pid.Set.of_range 1 n in
             let system =
               Fbqs.Quorum.system_of_list
@@ -658,9 +689,7 @@ let e12_nomination_ablation ?(seed = 12) ?(samples = 2) () =
             [
               row "echo-all" (run Scp.Node.Echo_all);
               row "leader-priority" (run (Scp.Node.Leader_priority 30));
-            ])
-          (List.init samples (fun i -> i)))
-      [ 4; 7; 10 ]
+            ]))
   in
   Report.make ~id:"E12"
     ~title:"Ablation: nomination strategy (echo-all vs leader priority)"
@@ -672,19 +701,19 @@ let e12_nomination_ablation ?(seed = 12) ?(samples = 2) () =
       ]
     rows
 
-let all ?(seed = 1) () =
+let all ?(seed = 1) ?(jobs = 1) () =
   [
     e1_fig1_example ();
     e2_is_quorum ~seed ();
-    e3_theorem2_violation ~seed ~samples:3 ();
-    e4_algorithm2_intertwined ~seed ~samples:3 ();
+    e3_theorem2_violation ~seed ~samples:3 ~jobs ();
+    e4_algorithm2_intertwined ~seed ~samples:3 ~jobs ();
     e4b_threshold_ablation ();
-    e5_availability ~seed ~samples:3 ();
-    e6_sink_detector ~seed ~samples:2 ();
-    e7_reachable_broadcast ~seed ~samples:2 ();
-    e8_pipelines ~seed ~samples:2 ();
+    e5_availability ~seed ~samples:3 ~jobs ();
+    e6_sink_detector ~seed ~samples:2 ~jobs ();
+    e7_reachable_broadcast ~seed ~samples:2 ~jobs ();
+    e8_pipelines ~seed ~samples:2 ~jobs ();
     e9_graph_machinery ~seed ();
-    e10_restricted_oracle ~seed ~samples:2 ();
-    e11_gst_sweep ~seed ~samples:2 ();
-    e12_nomination_ablation ~seed ~samples:2 ();
+    e10_restricted_oracle ~seed ~samples:2 ~jobs ();
+    e11_gst_sweep ~seed ~samples:2 ~jobs ();
+    e12_nomination_ablation ~seed ~samples:2 ~jobs ();
   ]

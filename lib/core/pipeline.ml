@@ -88,6 +88,8 @@ let scp_with_sink_detector ?(cfg = Simkit.Run_config.default)
   in
   { verdict with all_decided = verdict.all_decided && discovery_complete }
 
+type stack = Scp_local | Scp_sink_detector | Bftcup
+
 let bftcup ?(cfg = Simkit.Run_config.default) ~graph ~f ~faulty
     ~initial_value_of () =
   let o =
@@ -104,3 +106,31 @@ let bftcup ?(cfg = Simkit.Run_config.default) ~graph ~f ~faulty
     consensus_msgs = o.consensus_stats.messages_sent;
     total_time = o.discovery_stats.end_time + o.consensus_stats.end_time;
   }
+
+let run_stack stack ~cfg ~graph ~f ~faulty ~initial_value_of =
+  match stack with
+  | Scp_local ->
+      scp_with_local_slices ~cfg ~graph ~f ~faulty ~initial_value_of ()
+  | Scp_sink_detector ->
+      scp_with_sink_detector ~cfg ~graph ~f ~faulty ~initial_value_of ()
+  | Bftcup -> bftcup ~cfg ~graph ~f ~faulty ~initial_value_of ()
+
+let sweep ?(jobs = 1) ?(cfg = Simkit.Run_config.default) ~stack ~graph ~f
+    ~faulty ~initial_value_of seeds =
+  (* Observability sinks are per-run mutable state; a sweep's workers
+     each live in their own process, so sinks attached to the parent's
+     config would silently collect nothing. Strip them up front — the
+     sweep is a measurement harness, the single-run entry points remain
+     the observability path. *)
+  let base =
+    { cfg with Simkit.Run_config.metrics = None; trace = None }
+  in
+  let verdicts =
+    Simkit.Pool.map ~jobs
+      (fun seed ->
+        run_stack stack
+          ~cfg:(Simkit.Run_config.with_seed seed base)
+          ~graph ~f ~faulty ~initial_value_of)
+      seeds
+  in
+  List.combine seeds verdicts

@@ -65,3 +65,24 @@ val bftcup :
   verdict
 (** The BFT-CUP stack does not yet thread observability sinks through
     its internal stages; only the timing fields of [cfg] apply. *)
+
+(** A pipeline selector, for sweep-style callers that pick the stack at
+    run time (CLI, bench harness). *)
+type stack = Scp_local | Scp_sink_detector | Bftcup
+
+val sweep :
+  ?jobs:int ->
+  ?cfg:Simkit.Run_config.t ->
+  stack:stack ->
+  graph:Digraph.t ->
+  f:int ->
+  faulty:Pid.Set.t ->
+  initial_value_of:(Pid.t -> Scp.Value.t) ->
+  int list ->
+  (int * verdict) list
+(** [sweep ~jobs ~stack ... seeds] runs one independent consensus
+    instance per seed through {!Simkit.Pool.map} and returns
+    [(seed, verdict)] pairs in input order — byte-identical to the
+    sequential run for every [jobs]. The config's [metrics]/[trace]
+    sinks are stripped (each worker is its own process; see DESIGN.md
+    §10); use the single-run entry points to observe one run. *)

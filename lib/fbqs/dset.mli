@@ -20,8 +20,12 @@ val delete : Quorum.system -> Pid.Set.t -> Quorum.system
 
 val quorum_intersection_despite : Quorum.system -> Pid.Set.t -> bool
 (** Every two quorums of [delete sys b] intersect. Vacuously true when
-    the deleted system has at most one quorum. Exponential in the
-    number of surviving nodes (enumeration guard applies). *)
+    the deleted system has at most one quorum. Decided by enumerating
+    minimal quorums in increasing cardinality with superset pruning and
+    a smallest-quorum early exit (two disjoint quorums need at least
+    [2 * kmin] nodes), so well-connected systems answer after a few
+    hundred membership tests instead of the full [2^n] pairwise sweep;
+    worst case remains exponential (guarded to 20 survivors). *)
 
 val quorum_availability_despite : Quorum.system -> Pid.Set.t -> bool
 (** The survivors [participants sys \ b] form a quorum of the

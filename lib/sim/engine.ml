@@ -34,6 +34,14 @@ type 'm t = {
   delay : Delay.t;
   queue : 'm event Event_queue.t;
   nodes : (Pid.t, 'm behavior) Hashtbl.t;
+  (* Dispatch goes through [slots]: a dense array indexed by pid holding
+     the behaviour together with a preallocated ctx, so the per-event
+     path is one bounds check and one array load — no hashing, no ctx
+     allocation. Negative pids (used by some adversarial setups) fall
+     back to a hash table. [nodes] stays the registration record that
+     {!run} iterates for Start events. *)
+  mutable slots : 'm slot option array;
+  neg_slots : (Pid.t, 'm slot) Hashtbl.t;
   pp_msg : (Format.formatter -> 'm -> unit) option;
   classify : ('m -> string) option;
   class_counts : (string, int) Hashtbl.t;
@@ -48,6 +56,7 @@ type 'm t = {
   sent_by_tbl : (Pid.t, int) Hashtbl.t;
 }
 
+and 'm slot = { b : 'm behavior; ctx : 'm ctx }
 and 'm ctx = { engine : 'm t; owner : Pid.t }
 
 and 'm behavior = {
@@ -77,6 +86,11 @@ let msg_fields t payload =
       [ ("msg", Obs.Json.String (Format.asprintf "%a" pp payload)) ]
   | _ -> []
 
+(* The field lists (and the rendered ["msg"] payloads) exist only for
+   the trace sink; with tracing off the hot path must not allocate
+   them, so every emit site guards construction on [t.trace]. *)
+let tracing t = match t.trace with None -> false | Some _ -> true
+
 let send ctx dst payload =
   let t = ctx.engine in
   t.messages_sent <- t.messages_sent + 1;
@@ -90,13 +104,14 @@ let send ctx dst payload =
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.sent_by_tbl ctx.owner));
   let d = Delay.delay_of t.delay ~now:t.clock ~src:ctx.owner ~dst in
   (match t.meters with Some m -> Obs.Metrics.incr m.m_sent | None -> ());
-  emit t "send"
-    ([
-       ("src", Obs.Json.Int ctx.owner);
-       ("dst", Obs.Json.Int dst);
-       ("at", Obs.Json.Int (t.clock + d));
-     ]
-    @ msg_fields t payload);
+  if tracing t then
+    emit t "send"
+      ([
+         ("src", Obs.Json.Int ctx.owner);
+         ("dst", Obs.Json.Int dst);
+         ("at", Obs.Json.Int (t.clock + d));
+       ]
+      @ msg_fields t payload);
   Event_queue.push t.queue ~time:(t.clock + d)
     (Deliver { src = ctx.owner; dst; payload })
 
@@ -124,6 +139,8 @@ let create ?pp_msg ?classify ?metrics ?trace ?(max_time = 1_000_000) ~delay ()
     delay;
     queue = Event_queue.create ();
     nodes = Hashtbl.create 32;
+    slots = [||];
+    neg_slots = Hashtbl.create 4;
     pp_msg;
     classify;
     class_counts = Hashtbl.create 8;
@@ -144,7 +161,24 @@ let create_cfg ?pp_msg ?classify (cfg : Run_config.t) =
     ~delay:(Run_config.delay_model cfg)
     ()
 
-let add_node t pid behavior = Hashtbl.replace t.nodes pid behavior
+let add_node t pid behavior =
+  Hashtbl.replace t.nodes pid behavior;
+  let slot = { b = behavior; ctx = { engine = t; owner = pid } } in
+  if pid >= 0 then begin
+    if pid >= Array.length t.slots then begin
+      let len = max 16 (max (pid + 1) (2 * Array.length t.slots)) in
+      let grown = Array.make len None in
+      Array.blit t.slots 0 grown 0 (Array.length t.slots);
+      t.slots <- grown
+    end;
+    t.slots.(pid) <- Some slot
+  end
+  else Hashtbl.replace t.neg_slots pid slot
+
+let slot_of t pid =
+  if pid >= 0 then
+    if pid < Array.length t.slots then Array.unsafe_get t.slots pid else None
+  else Hashtbl.find_opt t.neg_slots pid
 
 let stats_of t =
   {
@@ -171,45 +205,48 @@ let dispatch t event =
   | None -> ());
   match event with
   | Start pid -> (
-      match Hashtbl.find_opt t.nodes pid with
-      | Some b ->
-          emit t "start" [ ("node", Obs.Json.Int pid) ];
-          b.on_start { engine = t; owner = pid }
+      match slot_of t pid with
+      | Some s ->
+          if tracing t then emit t "start" [ ("node", Obs.Json.Int pid) ];
+          s.b.on_start s.ctx
       | None -> ())
   | Timer { owner; tag } -> (
-      match Hashtbl.find_opt t.nodes owner with
-      | Some b ->
+      match slot_of t owner with
+      | Some s ->
           t.timers_fired <- t.timers_fired + 1;
           (match t.meters with
           | Some m -> Obs.Metrics.incr m.m_timers
           | None -> ());
-          emit t "timer"
-            [ ("owner", Obs.Json.Int owner); ("tag", Obs.Json.String tag) ];
-          b.on_timer { engine = t; owner } tag
+          if tracing t then
+            emit t "timer"
+              [ ("owner", Obs.Json.Int owner); ("tag", Obs.Json.String tag) ];
+          s.b.on_timer s.ctx tag
       | None -> ())
   | Deliver { src = from; dst; payload } -> (
-      match Hashtbl.find_opt t.nodes dst with
-      | Some b ->
+      match slot_of t dst with
+      | Some s ->
           t.messages_delivered <- t.messages_delivered + 1;
           (match t.meters with
           | Some m -> Obs.Metrics.incr m.m_delivered
           | None -> ());
-          emit t "deliver"
-            ([ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ]
-            @ msg_fields t payload);
+          if tracing t then
+            emit t "deliver"
+              ([ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ]
+              @ msg_fields t payload);
           (match t.pp_msg with
           | Some pp ->
               Log.debug (fun m ->
                   m "t=%d %d -> %d : %a" t.clock from dst pp payload)
           | None -> ());
-          b.on_message { engine = t; owner = dst } ~src:from payload
+          s.b.on_message s.ctx ~src:from payload
       | None ->
           t.messages_dropped <- t.messages_dropped + 1;
           (match t.meters with
           | Some m -> Obs.Metrics.incr m.m_dropped
           | None -> ());
-          emit t "drop"
-            [ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ])
+          if tracing t then
+            emit t "drop"
+              [ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ])
 
 let run ?max_time ?(stop = fun () -> false) t =
   let max_time = Option.value ~default:t.default_max_time max_time in

@@ -1,0 +1,103 @@
+exception Job_failed of string
+
+let has_fork = not Sys.win32
+
+let run_in_parallel ~jobs n = has_fork && jobs > 1 && n > 1
+
+(* Round-robin partition: worker [w] of [nw] owns the items at indices
+   [i] with [i mod nw = w]. A pure function of the input list and the
+   worker count, so the parent can scatter results back into input
+   order without shipping indices over the pipe. *)
+let partition nw xs =
+  let buckets = Array.make nw [] in
+  List.iteri (fun i x -> buckets.(i mod nw) <- (i, x) :: buckets.(i mod nw)) xs;
+  Array.map List.rev buckets
+
+(* One worker: compute the assigned jobs sequentially, stopping at the
+   first failure (exactly the prefix a sequential [List.map] would have
+   computed before raising), and marshal the outcome up the pipe. The
+   child exits with [Unix._exit] so the duplicated stdio buffers and
+   [at_exit] handlers of the parent never run twice. *)
+let worker_main fd f items =
+  let outcome : (_ list, string) result =
+    try Ok (List.map (fun (_, x) -> f x) items)
+    with e ->
+      let bt = Printexc.get_backtrace () in
+      Error
+        (Printexc.to_string e ^ if bt = "" then "" else "\n" ^ String.trim bt)
+  in
+  (try
+     let oc = Unix.out_channel_of_descr fd in
+     Marshal.to_channel oc outcome [];
+     flush oc
+   with _ -> Unix._exit 2);
+  Unix._exit 0
+
+let map_forked ~workers f xs =
+  let n = List.length xs in
+  let buckets = partition workers xs in
+  flush stdout;
+  flush stderr;
+  let spawned =
+    Array.map
+      (fun items ->
+        let r, w = Unix.pipe ~cloexec:false () in
+        match Unix.fork () with
+        | 0 ->
+            Unix.close r;
+            worker_main w f items
+        | pid ->
+            Unix.close w;
+            (pid, r, items))
+      buckets
+  in
+  (* Collect every worker before acting on any failure: a crashed job
+     must surface as an exception, never as a hang or a zombie. *)
+  let outcomes =
+    Array.map
+      (fun (pid, r, items) ->
+        let outcome =
+          try
+            let ic = Unix.in_channel_of_descr r in
+            let (o : (_ list, string) result) = Marshal.from_channel ic in
+            close_in ic;
+            o
+          with e ->
+            (try Unix.close r with Unix.Unix_error _ -> ());
+            Error ("worker died before reporting: " ^ Printexc.to_string e)
+        in
+        let _, status = Unix.waitpid [] pid in
+        match (outcome, status) with
+        | Ok results, Unix.WEXITED 0 -> Ok (items, results)
+        | Error msg, _ -> Error msg
+        | Ok _, status ->
+            let s =
+              match status with
+              | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+              | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+              | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+            in
+            Error ("worker terminated abnormally: " ^ s))
+      spawned
+  in
+  let slots = Array.make n None in
+  Array.iter
+    (fun outcome ->
+      match outcome with
+      | Error msg -> raise (Job_failed msg)
+      | Ok (items, results) ->
+          (* A well-behaved worker answers one result per item; anything
+             else means the transport lost data. *)
+          if List.length items <> List.length results then
+            raise (Job_failed "worker returned a truncated result list");
+          List.iter2 (fun (i, _) y -> slots.(i) <- Some y) items results)
+    outcomes;
+  Array.to_list
+    (Array.map
+       (function Some y -> y | None -> raise (Job_failed "missing result"))
+       slots)
+
+let map ~jobs f xs =
+  let n = List.length xs in
+  if not (run_in_parallel ~jobs n) then List.map f xs
+  else map_forked ~workers:(min jobs n) f xs

@@ -1,0 +1,45 @@
+(** A deterministic parallel executor for independent simulation jobs.
+
+    Experiment sweeps are embarrassingly parallel: each sample is a
+    pure function of its own seed, graph and config, and touches no
+    shared mutable state (every worker builds its own engine, metrics
+    registry and trace buffer). {!map} farms such jobs out to forked
+    worker processes and returns the results in input order, so the
+    output is byte-identical to the sequential run — parallelism is a
+    pure wall-clock optimisation, never a semantic knob.
+
+    Portability: on Unix the pool uses [Unix.fork] plus [Marshal] over
+    pipes (works identically on OCaml 4.14 and 5.x — no dependency on
+    domains). Where [fork] is unavailable (Windows), or when
+    [jobs <= 1], {!map} degrades to a plain sequential [List.map].
+
+    Jobs are distributed round-robin across workers before any of them
+    starts, so the partition — like everything else here — is a pure
+    function of the input list and [jobs]. *)
+
+exception Job_failed of string
+(** A job raised in a worker (the payload is the exception text plus
+    the worker's backtrace), or a worker died before reporting results.
+    Re-raised in the parent by {!map}; remaining workers are reaped
+    first, so a crash never hangs the pool. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] evaluates [f] on every element of [xs] using up to
+    [jobs] worker processes and returns the results in input order.
+
+    - [jobs <= 1] (or a singleton/empty [xs], or no [fork]) runs
+      sequentially in-process: [List.map f xs] exactly.
+    - Results are transported with [Marshal], so ['b] must be
+      marshal-safe plain data (no closures, no custom blocks). The
+      inputs and [f] itself are never marshalled — workers inherit them
+      through [fork] — so jobs may freely close over graphs, configs
+      and functions.
+    - If any job raises, {!map} raises {!Job_failed} after collecting
+      every worker.
+
+    @raise Job_failed as described above. *)
+
+val run_in_parallel : jobs:int -> int -> bool
+(** [run_in_parallel ~jobs n] — whether [map ~jobs] on an [n]-element
+    list would actually fork ([jobs > 1], [n > 1] and fork available).
+    Exposed so callers (CLI, bench) can report the execution mode. *)

@@ -106,6 +106,34 @@ let prop_dset_monotone_availability =
       Dset.quorum_availability_despite sys members
       && Dset.is_dset sys Pid.Set.empty)
 
+let prop_intersection_matches_enum =
+  (* The pruned minimal-quorum path must agree with the brute-force
+     definition: enumerate every quorum of the deleted system and check
+     that all pairs intersect. *)
+  QCheck.Test.make ~count:100 ~name:"pruned intersection = brute force"
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range 0 63))
+    (fun (n, t, bmask) ->
+      let members = Pid.Set.of_range 1 n in
+      let sys =
+        Quorum.system_of_list
+          (List.map
+             (fun i -> (i, Slice.threshold ~members ~threshold:(min t n)))
+             (Pid.Set.elements members))
+      in
+      let b =
+        Pid.Set.filter (fun i -> bmask land (1 lsl (i - 1)) <> 0) members
+      in
+      let brute =
+        let quorums = Quorum.enum_quorums (Dset.delete sys b) in
+        List.for_all
+          (fun q1 ->
+            List.for_all
+              (fun q2 -> not (Pid.Set.is_empty (Pid.Set.inter q1 q2)))
+              quorums)
+          quorums
+      in
+      Dset.quorum_intersection_despite sys b = brute)
+
 let suites =
   [
     ( "dset",
@@ -121,5 +149,6 @@ let suites =
         Alcotest.test_case "Algorithm 2 slices: singletons dispensable"
           `Quick test_algorithm2_slices_dset;
         QCheck_alcotest.to_alcotest prop_dset_monotone_availability;
+        QCheck_alcotest.to_alcotest prop_intersection_matches_enum;
       ] );
   ]

@@ -1,0 +1,120 @@
+(* The parallel executor's whole contract is "byte-identical to the
+   sequential run, just faster": ordering, crash propagation and the
+   jobs=1 degenerate case are the things that can silently break it. *)
+
+let int_list = Alcotest.(list int)
+
+let test_empty_and_singleton () =
+  Alcotest.check int_list "empty list" []
+    (Simkit.Pool.map ~jobs:4 (fun x -> x + 1) []);
+  Alcotest.check int_list "singleton" [ 43 ]
+    (Simkit.Pool.map ~jobs:4 (fun x -> x + 1) [ 42 ])
+
+let test_jobs_degenerate () =
+  let xs = List.init 10 Fun.id in
+  let f x = (x * x) - (3 * x) in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.check int_list
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Simkit.Pool.map ~jobs f xs))
+    [ -1; 0; 1; 2; 3; 10; 64 ]
+
+let test_order_preserved_more_jobs_than_items () =
+  let xs = [ "c"; "a"; "b" ] in
+  Alcotest.(check (list string))
+    "order follows input, not workers" [ "c!"; "a!"; "b!" ]
+    (Simkit.Pool.map ~jobs:16 (fun s -> s ^ "!") xs)
+
+let test_closure_capture () =
+  (* Jobs inherit closures through fork — no marshalling of [f] — so
+     capturing a non-marshal-safe value (here a function) must work. *)
+  let shift = ref 7 in
+  let adder x = x + !shift in
+  Alcotest.check int_list "captured state visible in workers" [ 8; 9; 10 ]
+    (Simkit.Pool.map ~jobs:2 adder [ 1; 2; 3 ])
+
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let test_crash_propagates () =
+  (* A raising job must surface as Job_failed in the parent — and must
+     not hang the pool or leave siblings unreaped. *)
+  let raised =
+    try
+      ignore
+        (Simkit.Pool.map ~jobs:3
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (List.init 9 Fun.id));
+      false
+    with Simkit.Pool.Job_failed msg ->
+      Alcotest.(check bool)
+        "failure text carries the exception" true
+        (contains_substring ~sub:"boom" msg);
+      true
+  in
+  Alcotest.(check bool) "Job_failed raised" true raised
+
+let prop_pool_equals_list_map =
+  QCheck.Test.make ~count:100 ~name:"Pool.map = List.map (any jobs)"
+    QCheck.(pair (small_list int) (int_range 1 8))
+    (fun (xs, jobs) ->
+      Simkit.Pool.map ~jobs (fun x -> (x * 31) + 1) xs
+      = List.map (fun x -> (x * 31) + 1) xs)
+
+(* The experiments are the real workload: their tables must come out
+   byte-identical whatever the jobs count. Small sample counts keep
+   this a unit test, not a benchmark. *)
+let experiment_determinism name build () =
+  Alcotest.(check string)
+    (name ^ " table identical at jobs=4")
+    (Stellar_cup.Report.to_markdown (build ~jobs:1))
+    (Stellar_cup.Report.to_markdown (build ~jobs:4))
+
+let det_case name build =
+  Alcotest.test_case
+    (name ^ ": jobs=4 byte-identical")
+    `Slow
+    (experiment_determinism name build)
+
+let suites =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "empty and singleton inputs" `Quick
+          test_empty_and_singleton;
+        Alcotest.test_case "degenerate and oversubscribed jobs" `Quick
+          test_jobs_degenerate;
+        Alcotest.test_case "order preserved with jobs > items" `Quick
+          test_order_preserved_more_jobs_than_items;
+        Alcotest.test_case "closures inherited through fork" `Quick
+          test_closure_capture;
+        Alcotest.test_case "worker crash raises Job_failed" `Quick
+          test_crash_propagates;
+        QCheck_alcotest.to_alcotest prop_pool_equals_list_map;
+      ] );
+    ( "pool-experiments",
+      [
+        det_case "e3" (fun ~jobs ->
+            Stellar_cup.Experiments.e3_theorem2_violation ~seed:1 ~samples:2
+              ~jobs ());
+        det_case "e4" (fun ~jobs ->
+            Stellar_cup.Experiments.e4_algorithm2_intertwined ~seed:2
+              ~samples:2 ~jobs ());
+        det_case "e5" (fun ~jobs ->
+            Stellar_cup.Experiments.e5_availability ~seed:3 ~samples:2 ~jobs
+              ());
+        det_case "e6" (fun ~jobs ->
+            Stellar_cup.Experiments.e6_sink_detector ~seed:4 ~samples:2 ~jobs
+              ());
+        det_case "e7" (fun ~jobs ->
+            Stellar_cup.Experiments.e7_reachable_broadcast ~seed:5 ~samples:2
+              ~jobs ());
+        det_case "e8" (fun ~jobs ->
+            Stellar_cup.Experiments.e8_pipelines ~seed:6 ~samples:2 ~jobs ());
+      ] );
+  ]
