@@ -68,6 +68,8 @@ let refresh_known t =
           ids)
     t.claims;
   let fresh =
+    (* Order-insensitive D1 escape: the vote tally folds straight into
+       [Pid.Set.add], so bucket order cannot leak into [known]. *)
     Hashtbl.fold
       (fun x c acc -> if c >= t.f + 1 then Pid.Set.add x acc else acc)
       votes Pid.Set.empty

@@ -121,6 +121,8 @@ let on_get_sink t ~send ~src ~origin ~path =
   end
 
 let delivered t =
+  (* Enumeration order is irrelevant: the fold lands in [Pid.Set.add],
+     an order-insensitive D1 ordering step. *)
   Hashtbl.fold
     (fun origin st acc ->
       if st.delivered && not (Pid.equal origin t.self) then

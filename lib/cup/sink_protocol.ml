@@ -78,23 +78,36 @@ let report st ctx ~on_result =
   | Some _ | None -> ()
 
 (* The wait_sink rule: adopt a value echoed by more than f distinct
-   responders. *)
+   responders. When several candidate views clear the threshold in the
+   same check, the smallest by [Pid.Set.compare] wins — a total order
+   on candidates, so the outcome never depends on enumeration order
+   (the seed picked whichever [Hashtbl] bucket came up first). *)
+let resolve_replies ~f replies =
+  let bump counts v =
+    let rec go = function
+      | [] -> [ (v, 1) ]
+      | (w, n) :: rest ->
+          if Pid.Set.equal w v then (w, n + 1) :: rest else (w, n) :: go rest
+    in
+    go counts
+  in
+  let counts = Pid.Map.fold (fun _ v acc -> bump acc v) replies [] in
+  List.fold_left
+    (fun best (v, n) ->
+      if n <= f then best
+      else
+        match best with
+        | Some w when Pid.Set.compare w v <= 0 -> best
+        | Some _ | None -> Some v)
+    None counts
+
 let check_replies st =
   match st.sink with
   | Some _ -> ()
-  | None ->
-      let counts = Hashtbl.create 8 in
-      Pid.Map.iter
-        (fun _ v ->
-          let key = Pid.Set.to_string v in
-          let n, _ =
-            Option.value ~default:(0, v) (Hashtbl.find_opt counts key)
-          in
-          Hashtbl.replace counts key (n + 1, v))
-        st.replies;
-      Hashtbl.iter
-        (fun _ (n, v) -> if n > st.f && st.sink = None then st.sink <- Some v)
-        counts
+  | None -> (
+      match resolve_replies ~f:st.f st.replies with
+      | Some v -> st.sink <- Some v
+      | None -> ())
 
 let check_sink_primitive st =
   match st.sink with

@@ -43,6 +43,13 @@ val faulty :
   fault ->
   Msg.t Simkit.Engine.behavior
 
+val resolve_replies : f:int -> Pid.Set.t Pid.Map.t -> Pid.Set.t option
+(** The pure wait_sink decision: given the latest claimed sink per
+    responder, the candidate view echoed by more than [f] distinct
+    responders, or [None]. Ties — several candidates over threshold —
+    resolve to the smallest view by [Pid.Set.compare], so the result is
+    a function of the reply map alone, never of enumeration order. *)
+
 type run_result = {
   answers : Sink_oracle.answer Pid.Map.t;
       (** one entry per correct process that completed get_sink *)

@@ -29,6 +29,7 @@ let rec to_buffer buf = function
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
       if not (Float.is_finite f) then Buffer.add_string buf "null"
+        (* lint: allow D5 — the one canonical float encoder *)
       else Buffer.add_string buf (Printf.sprintf "%.12g" f)
   | String s ->
       Buffer.add_char buf '"';

@@ -190,7 +190,9 @@ let stats_of t =
     queue_high_water = Event_queue.high_water t.queue;
     sent_by =
       (* materialized on demand: the per-send hot path only bumps a
-         hash-table counter *)
+         hash-table counter. Folding into [Pid.Map.add] is the
+         canonical D1 ordering step — the map is the same whatever
+         order the buckets are enumerated in (see DESIGN.md §11). *)
       Hashtbl.fold Pid.Map.add t.sent_by_tbl Pid.Map.empty;
     sent_by_class =
       List.sort compare
@@ -250,9 +252,13 @@ let dispatch t event =
 
 let run ?max_time ?(stop = fun () -> false) t =
   let max_time = Option.value ~default:t.default_max_time max_time in
-  Hashtbl.iter
-    (fun pid _ -> Event_queue.push t.queue ~time:0 (Start pid))
-    t.nodes;
+  (* Start events go out in ascending pid order — a sorted snapshot of
+     [nodes], not [Hashtbl.iter], so the time-0 schedule (and with it
+     the per-run delay stream) never depends on hash-bucket layout. *)
+  List.iter
+    (fun pid -> Event_queue.push t.queue ~time:0 (Start pid))
+    (List.sort Pid.compare
+       (Hashtbl.fold (fun pid _ acc -> pid :: acc) t.nodes []));
   let rec loop () =
     if stop () then ()
     else

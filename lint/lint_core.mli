@@ -1,0 +1,63 @@
+(** stellar-lint: AST-level determinism and protocol-purity rules.
+
+    The analyzer parses sources with [Pparse] (compiler-libs) and walks
+    the Parsetree with [Ast_iterator]. There is no typing pass, so
+    every rule is a syntactic heuristic, scoped by the file's
+    repo-relative path:
+
+    - D1 — [Hashtbl.iter]/[Hashtbl.fold] whose result can escape in
+      enumeration order. Allowed when an ordering step appears in the
+      same expression: a [List.sort]-family call enclosing or inside
+      the enumeration, or a conversion through a [Set]/[Map] submodule
+      (e.g. folding into [Pid.Map.add]).
+    - D2 — wall-clock and ambient entropy ([Random.self_init],
+      [Unix.gettimeofday], [Unix.time], [Sys.time]) outside [bench/].
+    - D3 — polymorphic [compare]/[(=)]/[(<>)]/[Hashtbl.hash] applied
+      to [Pid.Set]/[Pid.Map]/[Slice] values; use the typed comparators.
+    - D4 — [Marshal] outside [lib/sim/pool.ml] ([Simkit.Pool]), and
+      [Obj.*] anywhere.
+    - D5 — float [Printf]/[Format] conversions inside [lib/obs] render
+      paths; JSON floats must go through the [Obs.Json] encoder.
+    - M1 — every [lib/] module must have an [.mli].
+
+    Any finding on line [l] is waived by a
+    [(* lint: allow RULE — reason *)] comment on line [l] or [l - 1];
+    repo-wide grandfathering goes through [lint/baseline.txt]
+    (matching on {!baseline_key}). *)
+
+type finding = {
+  file : string;  (** repo-relative path, ['/']-separated *)
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+type report = {
+  active : finding list;  (** findings that gate the build *)
+  suppressed : finding list;  (** waived by a per-site allow comment *)
+}
+
+val to_string : finding -> string
+(** ["file:line:col [RULE] message"] — the grep-friendly report line. *)
+
+val baseline_key : finding -> string
+(** ["file [RULE]"] — the granularity at which [lint/baseline.txt]
+    entries grandfather findings. *)
+
+val compare_finding : finding -> finding -> int
+(** Order by file, then line, column and rule; the report order. *)
+
+val allowed_rules_of_line : string -> string list
+(** The rule names waived by a [lint: allow] comment on this source
+    line; [[]] when the line carries no allow marker. *)
+
+val lint_source : rel:string -> string -> report
+(** [lint_source ~rel path] parses [path] (an [.ml] or [.mli],
+    dispatched on extension) and runs rules D1–D5 scoped as if the
+    file lived at [rel]. Unparseable sources yield a single [PARSE]
+    finding. Both lists come back sorted by {!compare_finding}. *)
+
+val rule_m1 : ml_files:string list -> mli_files:string list -> finding list
+(** M1 over repo-relative path lists: every [lib/**.ml] without its
+    sibling [.mli]. *)

@@ -1,0 +1,150 @@
+(* stellar-lint driver: walk the tree, run the rules, apply the
+   baseline, report (optionally as JSON) and gate with the exit code.
+
+   Usage: dune exec lint/main.exe -- [--root DIR] [--json FILE]
+            [--baseline FILE] [paths...]
+
+   With no positional paths it scans lib/ bin/ bench/ test/ lint/
+   under the root, skipping _build, hidden directories and the lint
+   fixture corpus (whose files violate the rules on purpose). *)
+
+let default_dirs = [ "lib"; "bin"; "bench"; "test"; "lint" ]
+let skip_dir name = name = "_build" || name = "lint_fixtures" || name.[0] = '.'
+
+let rec walk acc path rel =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if skip_dir entry then acc
+        else
+          walk acc (Filename.concat path entry)
+            (if rel = "" then entry else rel ^ "/" ^ entry))
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then (rel, path) :: acc
+  else acc
+
+let load_baseline path =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line ->
+              let line = String.trim line in
+              if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+
+let finding_json status f =
+  Obs.Json.Obj
+    [
+      ("file", Obs.Json.String f.Lint_core.file);
+      ("line", Obs.Json.Int f.Lint_core.line);
+      ("col", Obs.Json.Int f.Lint_core.col);
+      ("rule", Obs.Json.String f.Lint_core.rule);
+      ("message", Obs.Json.String f.Lint_core.message);
+      ("status", Obs.Json.String status);
+    ]
+
+let () =
+  let root = ref "." in
+  let json = ref None in
+  let baseline = ref None in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root (default .)");
+      ( "--json",
+        Arg.String (fun s -> json := Some s),
+        "FILE write a JSON report (- for stdout)" );
+      ( "--baseline",
+        Arg.String (fun s -> baseline := Some s),
+        "FILE baseline file (default ROOT/lint/baseline.txt)" );
+    ]
+  in
+  Arg.parse spec
+    (fun p -> paths := p :: !paths)
+    "stellar-lint [options] [paths...]";
+  let scan = match !paths with [] -> default_dirs | ps -> List.rev ps in
+  let files =
+    List.concat_map
+      (fun dir ->
+        let path = Filename.concat !root dir in
+        if Sys.file_exists path then walk [] path dir else [])
+      scan
+    |> List.sort compare
+  in
+  let reports =
+    List.map (fun (rel, path) -> Lint_core.lint_source ~rel path) files
+  in
+  let rels = List.map fst files in
+  let m1 =
+    Lint_core.rule_m1
+      ~ml_files:(List.filter (fun f -> Filename.check_suffix f ".ml") rels)
+      ~mli_files:(List.filter (fun f -> Filename.check_suffix f ".mli") rels)
+  in
+  let active =
+    List.sort Lint_core.compare_finding
+      (m1 @ List.concat_map (fun r -> r.Lint_core.active) reports)
+  in
+  let suppressed =
+    List.sort Lint_core.compare_finding
+      (List.concat_map (fun r -> r.Lint_core.suppressed) reports)
+  in
+  let baseline_path =
+    match !baseline with
+    | Some p -> p
+    | None -> Filename.concat !root "lint/baseline.txt"
+  in
+  let baseline_entries = load_baseline baseline_path in
+  let baselined, gating =
+    List.partition
+      (fun f -> List.mem (Lint_core.baseline_key f) baseline_entries)
+      active
+  in
+  List.iter (fun f -> print_endline (Lint_core.to_string f)) gating;
+  Printf.printf
+    "stellar-lint: %d files, %d findings (%d suppressed, %d baselined), %d \
+     gating\n"
+    (List.length files)
+    (List.length active + List.length suppressed)
+    (List.length suppressed) (List.length baselined) (List.length gating);
+  (match !json with
+  | None -> ()
+  | Some out ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("version", Obs.Json.Int 1);
+            ("files_scanned", Obs.Json.Int (List.length files));
+            ( "findings",
+              Obs.Json.List
+                (List.map (finding_json "gating") gating
+                @ List.map (finding_json "baselined") baselined
+                @ List.map (finding_json "suppressed") suppressed) );
+            ( "summary",
+              Obs.Json.Obj
+                [
+                  ("gating", Obs.Json.Int (List.length gating));
+                  ("baselined", Obs.Json.Int (List.length baselined));
+                  ("suppressed", Obs.Json.Int (List.length suppressed));
+                ] );
+          ]
+      in
+      let s = Obs.Json.to_string doc ^ "\n" in
+      if out = "-" then print_string s
+      else begin
+        let oc = open_out out in
+        output_string oc s;
+        close_out oc
+      end);
+  if gating <> [] then exit 1

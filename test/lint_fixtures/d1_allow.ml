@@ -1,0 +1,4 @@
+(* Fixture: the per-site suppression comment waives the finding. *)
+let quiet tbl =
+  (* lint: allow D1 — fixture: the escape is deliberate *)
+  Hashtbl.iter (fun k v -> print_string (k ^ v)) tbl

@@ -1,0 +1,8 @@
+(* Fixture: ordering steps — fold into a Set/Map, or sort the result. *)
+let to_map tbl = Hashtbl.fold Pid.Map.add tbl Pid.Map.empty
+
+let to_set tbl =
+  Hashtbl.fold (fun k _ acc -> Pid.Set.add k acc) tbl Pid.Set.empty
+
+let sorted tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

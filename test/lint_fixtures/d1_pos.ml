@@ -1,0 +1,3 @@
+(* Fixture: both enumerations escape without an ordering step. *)
+let leak_iter tbl = Hashtbl.iter (fun k v -> print_string (k ^ v)) tbl
+let leak_fold tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,3 @@
+(* Fixture: seeded determinism is fine anywhere. *)
+let rng seed = Random.State.make [| seed |]
+let pick st = Random.State.int st 100

@@ -1,0 +1,5 @@
+(* Fixture: typed comparators and scalar projections. *)
+let ok_eq a b = Pid.Set.equal a b
+let ok_cmp a b = Pid.Set.compare a b
+let ok_scalar n s = n = Pid.Set.cardinal s
+let ok_count s = Slice.slice_count s = 0

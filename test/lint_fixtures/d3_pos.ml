@@ -1,0 +1,5 @@
+(* Fixture: polymorphic comparison on container values. *)
+let bad_eq s = s = Pid.Set.empty
+let bad_cmp x y = compare (x : Pid.Set.t) y
+let bad_hash members = Hashtbl.hash (Slice.threshold ~members ~threshold:2)
+let bad_ne m = m <> Pid.Map.empty

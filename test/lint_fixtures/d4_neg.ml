@@ -1,0 +1,2 @@
+(* Fixture: plain IO, no Marshal/Obj. *)
+let dump x = print_string (string_of_int x)

@@ -1,0 +1,3 @@
+(* Fixture: serialization and unsafe casts outside Simkit.Pool. *)
+let dump x = Marshal.to_string x []
+let cast x = Obj.magic x

@@ -1,0 +1,2 @@
+(* Fixture: integer formats are fine in obs. *)
+let render n = Printf.sprintf "%d/%s" n "units"

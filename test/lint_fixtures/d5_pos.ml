@@ -1,0 +1,3 @@
+(* Fixture: float formats in an obs render path. *)
+let render f = Printf.sprintf "%.3f" f
+let show f = Format.asprintf "%g" f

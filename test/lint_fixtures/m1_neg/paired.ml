@@ -1,0 +1,2 @@
+(* Fixture: a lib/ module with its interface file. *)
+let paired = 1

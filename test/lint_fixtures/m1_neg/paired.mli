@@ -1,0 +1,2 @@
+(* Fixture: the interface of paired.ml. *)
+val paired : int

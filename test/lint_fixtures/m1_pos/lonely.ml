@@ -1,0 +1,2 @@
+(* Fixture: a lib/ module with no interface file. *)
+let lonely = 1

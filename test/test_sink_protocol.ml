@@ -169,6 +169,67 @@ let prop_random_graphs_with_silent_fault =
               else (not a.in_sink) && Pid.Set.subset a.view sink)
         (Digraph.vertices g))
 
+(* Regression: [resolve_replies] used to walk a [Hashtbl], so whenever
+   several candidate views cleared the [> f] threshold in the same
+   check the adopted sink depended on bucket order. Ties must break to
+   the [Pid.Set.compare]-minimum, whatever order the replies are
+   enumerated or inserted in. *)
+let test_reply_tie_breaks_deterministically () =
+  let a = Pid.Set.of_list [ 1; 2; 3 ] in
+  let b = Pid.Set.of_list [ 1; 2; 4 ] in
+  let winner = if Pid.Set.compare a b <= 0 then a else b in
+  let map_of l =
+    List.fold_left (fun m (src, v) -> Pid.Map.add src v m) Pid.Map.empty l
+  in
+  (* f = 1: both candidates are echoed by two distinct responders. *)
+  let orders =
+    [
+      [ (10, a); (11, a); (12, b); (13, b) ];
+      [ (12, b); (13, b); (10, a); (11, a) ];
+      [ (12, b); (10, a); (13, b); (11, a) ];
+    ]
+  in
+  List.iter
+    (fun l ->
+      match Sink_protocol.resolve_replies ~f:1 (map_of l) with
+      | None -> Alcotest.fail "a candidate over threshold must win"
+      | Some v ->
+          Alcotest.(check bool)
+            "tie resolves to the Pid.Set.compare minimum" true
+            (Pid.Set.equal v winner))
+    orders;
+  (* Three-way tie at f = 0: every singleton clears the threshold. *)
+  let singles = List.map Pid.Set.singleton [ 7; 3; 5 ] in
+  let least =
+    List.fold_left
+      (fun acc v -> if Pid.Set.compare v acc < 0 then v else acc)
+      (List.hd singles) (List.tl singles)
+  in
+  let replies =
+    map_of (List.mapi (fun i v -> (20 + i, v)) singles)
+  in
+  (match Sink_protocol.resolve_replies ~f:0 replies with
+  | None -> Alcotest.fail "three candidates over threshold"
+  | Some v ->
+      Alcotest.(check bool) "three-way tie is deterministic" true
+        (Pid.Set.equal v least));
+  (* Repeated runs on the same map agree byte-for-byte. *)
+  List.iter
+    (fun _ ->
+      Alcotest.(check bool)
+        "repeated evaluation returns the same sink" true
+        (match Sink_protocol.resolve_replies ~f:0 replies with
+        | Some v -> Pid.Set.equal v least
+        | None -> false))
+    [ 1; 2; 3 ]
+
+let test_replies_below_threshold () =
+  let a = Pid.Set.of_list [ 1; 2; 3 ] in
+  let replies = Pid.Map.add 10 a Pid.Map.empty in
+  Alcotest.(check bool)
+    "one echo is not enough at f = 1" true
+    (Sink_protocol.resolve_replies ~f:1 replies = None)
+
 let suites =
   [
     ( "sink_protocol",
@@ -188,6 +249,10 @@ let suites =
         Alcotest.test_case "protocol matches pure oracle" `Quick
           test_matches_pure_oracle;
         Alcotest.test_case "deterministic runs" `Quick test_deterministic;
+        Alcotest.test_case "reply ties break deterministically" `Quick
+          test_reply_tie_breaks_deterministically;
+        Alcotest.test_case "replies below threshold" `Quick
+          test_replies_below_threshold;
         QCheck_alcotest.to_alcotest prop_random_graphs_fault_free;
         QCheck_alcotest.to_alcotest prop_random_graphs_with_silent_fault;
       ] );
