@@ -15,6 +15,12 @@
      dune exec bench/main.exe -- check-experiments
                                          -- exit 1 if EXPERIMENTS.md is
                                             out of date (CI guard)
+     dune exec bench/main.exe -- check-regress [--tolerance R]
+                                         -- re-measure the microbenches
+                                            and exit 1 if any committed
+                                            BENCH_quorum.json subject
+                                            slowed down by more than R
+                                            (default 0.5, i.e. +50%)
 
    Every mode accepts a trailing [--jobs N] (default 1; sweep defaults
    to 4): experiment samples are then farmed out to a Simkit.Pool of N
@@ -120,19 +126,60 @@ let bench_greatest_quorum =
   Test.make ~name:"greatest_quorum_within n=200" (Staged.stage (fun () ->
       ignore (Fbqs.Quorum.Compiled.greatest_quorum_within c universe)))
 
+let subject_scc_csr = "scc/csr circulant n=2000"
+let subject_scc_tree = "scc/tarjan circulant n=2000"
+let subject_reach_csr = "reach/csr circulant n=2000"
+let subject_reach_tree = "reach/tree circulant n=2000"
+let subject_kosr_csr = "k-osr-check/csr n=14 k=2"
+let subject_kosr_tree = "k-osr-check n=14 k=2"
+
+(* The seed tree-set Tarjan: the baseline the compiled CSR kernel is
+   measured against on the same graph. *)
 let bench_scc =
   let g = Generators.circulant ~n:2000 ~k:3 in
-  Test.make ~name:"scc/tarjan circulant n=2000" (Staged.stage (fun () ->
-      ignore (Scc.components g)))
+  Test.make ~name:subject_scc_tree (Staged.stage (fun () ->
+      ignore (Scc.components_baseline g)))
+
+(* Fresh [Csr.of_graph] each run (deliberately bypassing the handle
+   memo), so the subject prices the full compile + array Tarjan and the
+   speedup over the tree baseline is algorithmic, not cache warmth. *)
+let bench_scc_csr =
+  let g = Generators.circulant ~n:2000 ~k:3 in
+  Test.make ~name:subject_scc_csr (Staged.stage (fun () ->
+      match Csr.of_graph g with
+      | Some h -> ignore (Csr.scc_components h)
+      | None -> assert false))
+
+(* Reachability through the public API, memoized handle included: this
+   is what a sink-oracle query pays after the first analysis of a
+   graph. *)
+let bench_reach_csr =
+  let g = Generators.circulant ~n:2000 ~k:3 in
+  Test.make ~name:subject_reach_csr (Staged.stage (fun () ->
+      ignore (Traversal.reachable g 0)))
+
+let bench_reach_tree =
+  let g = Generators.circulant ~n:2000 ~k:3 in
+  Test.make ~name:subject_reach_tree (Staged.stage (fun () ->
+      ignore (Traversal.reachable_baseline g 0)))
 
 let bench_disjoint_paths =
   let g = Generators.random_k_osr ~seed:5 ~sink_size:20 ~non_sink:20 ~k:3 () in
   Test.make ~name:"menger/disjoint-paths n=40" (Staged.stage (fun () ->
       ignore (Connectivity.node_disjoint_paths g 39 0)))
 
+(* The full Definition 6 check through the seed algorithms (the
+   pre-CSR cost of this subject), and the CSR-backed public entry
+   point. [is_k_osr] builds a fresh sink subgraph per run, so the
+   handle memo only amortises the base graph, not the per-run work. *)
 let bench_kosr_check =
   let g = Generators.random_k_osr ~seed:6 ~sink_size:8 ~non_sink:6 ~k:2 () in
-  Test.make ~name:"k-osr-check n=14 k=2" (Staged.stage (fun () ->
+  Test.make ~name:subject_kosr_tree (Staged.stage (fun () ->
+      ignore (Properties.is_k_osr_baseline g 2)))
+
+let bench_kosr_csr =
+  let g = Generators.random_k_osr ~seed:6 ~sink_size:8 ~non_sink:6 ~k:2 () in
+  Test.make ~name:subject_kosr_csr (Staged.stage (fun () ->
       ignore (Properties.is_k_osr g 2)))
 
 let bench_event_queue =
@@ -276,7 +323,18 @@ let bench_parse_roundtrip =
   Test.make ~name:"parse/adjacency n=80" (Staged.stage (fun () ->
       ignore (Parse.of_string text)))
 
-let microbenches =
+(* Built lazily inside [microbenches]: a 50k-vertex graph takes long
+   enough to construct that the experiment-only modes must not pay for
+   it at module initialisation. The subject doubles as the
+   no-stack-overflow smoke test for the iterative array Tarjan. *)
+let bench_scc_csr_large () =
+  let g = Generators.circulant ~n:50_000 ~k:3 in
+  Test.make ~name:"scc/csr circulant n=50000" (Staged.stage (fun () ->
+      match Csr.of_graph g with
+      | Some h -> ignore (Csr.scc_components h)
+      | None -> assert false))
+
+let microbenches () =
   Test.make_grouped ~name:"kernels" ~fmt:"%s %s"
     [
       bench_is_quorum_symbolic;
@@ -286,8 +344,13 @@ let microbenches =
       bench_is_quorum_explicit;
       bench_greatest_quorum;
       bench_scc;
+      bench_scc_csr;
+      bench_scc_csr_large ();
+      bench_reach_csr;
+      bench_reach_tree;
       bench_disjoint_paths;
       bench_kosr_check;
+      bench_kosr_csr;
       bench_event_queue;
       bench_v_blocking;
       bench_sink_oracle;
@@ -321,6 +384,18 @@ let json_escape s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* The commit the numbers were measured at, so a BENCH_quorum.json in
+   isolation still says what it describes. Wall-clock-free: a git SHA
+   is repository state, not time, and [check-experiments] does not
+   involve this file. *)
+let git_sha () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception Unix.Unix_error _ -> "unknown"
+  | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      ignore (Unix.close_process_in ic);
+      if String.length line = 40 then line else "unknown"
 
 (* Message/transition counts of one instrumented 4-node SCP run at a
    fixed seed. Unlike the timing rows these are exact and
@@ -360,12 +435,16 @@ let write_bench_json rows =
         (subject_inter_cardinal_dense, subject_inter_cardinal_tree);
         (subject_dset_check, subject_dset_enum_baseline);
         (subject_engine_send_notrace, subject_engine_send_alloc);
+        (subject_scc_csr, subject_scc_tree);
+        (subject_reach_csr, subject_reach_tree);
+        (subject_kosr_csr, subject_kosr_tree);
       ]
   in
   let oc = open_out bench_json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"schema\": \"stellar-cup/bench-quorum/v1\",\n";
+  out "  \"git_sha\": \"%s\",\n" (json_escape (git_sha ()));
   out "  \"unit\": \"ns_per_run\",\n";
   out "  \"subjects\": [\n";
   List.iteri
@@ -394,9 +473,9 @@ let write_bench_json rows =
     comparisons;
   Format.printf "results written to %s@." bench_json_file
 
-let run_microbenches () =
+let measure_rows () =
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
-  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] microbenches in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (microbenches ()) in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -412,20 +491,22 @@ let run_microbenches () =
       in
       rows := (strip_group name, ns) :: !rows)
     results;
-  let rows = List.sort compare !rows in
+  List.sort compare !rows
+
+let human_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let run_microbenches () =
+  let rows = measure_rows () in
   Format.printf "== Microbenches (Bechamel, monotonic clock) ==@.";
   Format.printf "%-45s  %s@." "kernel" "time/run";
   Format.printf "%s@." (String.make 65 '-');
   List.iter
-    (fun (name, ns) ->
-      let human =
-        if Float.is_nan ns then "n/a"
-        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-        else Printf.sprintf "%.0f ns" ns
-      in
-      Format.printf "%-45s  %s@." name human)
+    (fun (name, ns) -> Format.printf "%-45s  %s@." name (human_ns ns))
     rows;
   Format.printf "@.";
   write_bench_json rows
@@ -513,6 +594,102 @@ let check_experiments ~jobs =
         exit 1
       end
 
+(* ---- bench regression gate ------------------------------------------- *)
+
+let find_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some (i + nl)
+    else go (i + 1)
+  in
+  go 0
+
+(* Parses the subject rows back out of our own writer's output (one
+   subject object per line, both keys present): a hand-rolled scan
+   keeps the harness free of a JSON dependency. *)
+let parse_bench_subjects contents =
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun line ->
+         match find_sub line "\"name\": \"" with
+         | None -> None
+         | Some ns -> (
+             match String.index_from_opt line ns '"' with
+             | None -> None
+             | Some ne -> (
+                 let name = String.sub line ns (ne - ns) in
+                 match find_sub line "\"ns_per_run\": " with
+                 | None -> None
+                 | Some vs -> (
+                     let ve = ref vs in
+                     while
+                       !ve < String.length line
+                       &&
+                       match line.[!ve] with
+                       | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+                       | _ -> false
+                     do
+                       incr ve
+                     done;
+                     match float_of_string_opt (String.sub line vs (!ve - vs)) with
+                     | Some v -> Some (name, v)
+                     | None -> None))))
+
+(* Re-measures the microbenches and compares each subject against the
+   committed BENCH_quorum.json, failing on any slowdown beyond the
+   tolerance. The committed file is read before anything is measured
+   and is never rewritten here, so the gate can run in CI ahead of the
+   [micro] mode that regenerates it. *)
+let check_regress ~tolerance =
+  let committed =
+    match open_in_bin bench_json_file with
+    | exception Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        parse_bench_subjects s
+  in
+  if committed = [] then begin
+    Printf.eprintf "error: no subjects found in %s\n" bench_json_file;
+    exit 2
+  end;
+  Format.printf "== check-regress: tolerance +%.0f%% over committed %s ==@."
+    (tolerance *. 100.) bench_json_file;
+  let rows = measure_rows () in
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, old_ns) ->
+      match List.assoc_opt name rows with
+      | None ->
+          Format.printf "?       %-45s committed but not measured@." name
+      | Some ns when Float.is_nan ns || Float.is_nan old_ns || old_ns <= 0. ->
+          Format.printf "?       %-45s not comparable@." name
+      | Some ns ->
+          let ratio = ns /. old_ns in
+          let ok = ratio <= 1. +. tolerance in
+          if not ok then incr regressions;
+          Format.printf "%-7s %-45s %s -> %s (%.2fx)@."
+            (if ok then "ok" else "REGRESS")
+            name (human_ns old_ns) (human_ns ns) ratio)
+    committed;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name committed) then
+        Format.printf "new     %-45s no committed number yet@." name)
+    rows;
+  if !regressions > 0 then begin
+    Printf.eprintf
+      "error: %d subject(s) slowed down beyond +%.0f%% — investigate, or \
+       rerun `dune exec bench/main.exe -- micro` and commit the refreshed \
+       %s\n"
+      !regressions (tolerance *. 100.) bench_json_file;
+    exit 1
+  end
+  else Format.printf "no regressions beyond +%.0f%%@." (tolerance *. 100.)
+
 (* ---- sequential-vs-parallel sweep timings ---------------------------- *)
 
 let sweep_json_file = "BENCH_sweep.json"
@@ -595,6 +772,7 @@ let run_sweep ~jobs =
 
 let () =
   let jobs = ref None in
+  let tolerance = ref 0.5 in
   let positional = ref [] in
   let i = ref 1 in
   while !i < Array.length Sys.argv do
@@ -607,6 +785,14 @@ let () =
              with Failure _ ->
                Printf.eprintf "error: --jobs expects an integer\n";
                exit 2)
+    | "--tolerance" when !i + 1 < Array.length Sys.argv ->
+        incr i;
+        tolerance :=
+          (match float_of_string_opt Sys.argv.(!i) with
+          | Some t when t >= 0. -> t
+          | _ ->
+              Printf.eprintf "error: --tolerance expects a float >= 0\n";
+              exit 2)
     | a -> positional := a :: !positional);
     incr i
   done;
@@ -618,6 +804,7 @@ let () =
   | "regen-experiments" -> regen_experiments ~jobs:(jobs_or 1)
   | "check-experiments" -> check_experiments ~jobs:(jobs_or 1)
   | "micro" -> run_microbenches ()
+  | "check-regress" -> check_regress ~tolerance:!tolerance
   | "sweep" -> run_sweep ~jobs:(jobs_or 4)
   | _ ->
       run_experiments ~markdown:false ~jobs:(jobs_or 1);

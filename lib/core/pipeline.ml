@@ -117,6 +117,12 @@ let run_stack stack ~cfg ~graph ~f ~faulty ~initial_value_of =
 
 let sweep ?(jobs = 1) ?(cfg = Simkit.Run_config.default) ~stack ~graph ~f
     ~faulty ~initial_value_of seeds =
+  (* Graph analyses inside a sweep (sink detection, quorum checks) run
+     against the same physical [graph] value every seed, so they hit the
+     per-process {!Graphkit.Csr} memo: the graph is compiled and
+     condensed once, not once per run. [Pool] workers fork from the
+     parent, so a memo the parent has already warmed (say by a prior
+     single run on the same graph) is inherited for free. *)
   (* Observability sinks are per-run mutable state; a sweep's workers
      each live in their own process, so sinks attached to the parent's
      config would silently collect nothing. Strip them up front — the

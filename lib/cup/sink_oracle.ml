@@ -2,6 +2,10 @@ open Graphkit
 
 type answer = { in_sink : bool; view : Pid.Set.t }
 
+(* [Condensation.unique_sink] runs on the compiled CSR handle memoized
+   per graph value, so repeated oracle queries against the same graph —
+   the common shape in sweeps and the per-process [get_sink] calls of a
+   run — condense it once, not once per query. *)
 let sink_of g =
   match Condensation.unique_sink g with
   | Some s -> s

@@ -5,7 +5,12 @@
     sink members to non-sink members. This module computes those answers
     directly from the global knowledge graph; the distributed
     implementation (Algorithm 3) lives in {!Sink_protocol} and is
-    checked against this oracle in the test suite. *)
+    checked against this oracle in the test suite.
+
+    Sink detection runs on the compiled CSR graph kernel
+    ({!Graphkit.Csr}): the SCC partition and condensation are computed
+    once per graph value and memoized, so per-process oracle queries
+    against the same graph are cache hits. *)
 
 open Graphkit
 

@@ -1,11 +1,20 @@
-type t = {
+(* A condensation is either a thin view over the memoized CSR handle
+   (the fast path — the SCC partition and DAG are computed once per
+   graph value and shared by every query) or the seed record built from
+   the tree-set algorithms (negative-pid fallback and test baseline).
+   Both constructions produce identical component ids, DAG successor
+   lists and sink ids — Csr's determinism contract. *)
+
+type seed = {
   comps : Pid.Set.t array;
   index : int Pid.Map.t;
   dag : int list array;
 }
 
-let make g =
-  let comps = Array.of_list (Scc.components g) in
+type t = Dense of Csr.t | Seed of seed
+
+let make_baseline g =
+  let comps = Array.of_list (Scc.components_baseline g) in
   let index =
     Array.to_seqi comps
     |> Seq.fold_left
@@ -20,25 +29,45 @@ let make g =
       if ci <> cj && not (List.mem cj succ_sets.(ci)) then
         succ_sets.(ci) <- cj :: succ_sets.(ci))
     g ();
-  { comps; index; dag = succ_sets }
+  Seed { comps; index; dag = succ_sets }
 
-let components t = t.comps
+let make g =
+  match Csr.get g with Some h -> Dense h | None -> make_baseline g
+
+let components = function
+  | Dense h -> Csr.scc_component_sets h
+  | Seed s -> s.comps
 
 let component_of t i =
-  match Pid.Map.find_opt i t.index with
-  | Some k -> k
-  | None -> raise Not_found
+  match t with
+  | Dense h -> (
+      match Csr.scc_component_of h i with
+      | Some k -> k
+      | None -> raise Not_found)
+  | Seed s -> (
+      match Pid.Map.find_opt i s.index with
+      | Some k -> k
+      | None -> raise Not_found)
 
-let dag_succs t k = t.dag.(k)
+let dag_succs t k =
+  match t with Dense h -> (Csr.dag_succs h).(k) | Seed s -> s.dag.(k)
 
-let sinks t =
-  let acc = ref [] in
-  Array.iteri (fun k succs -> if succs = [] then acc := k :: !acc) t.dag;
-  List.rev !acc
+let sinks = function
+  | Dense h -> Csr.dag_sinks h
+  | Seed s ->
+      let acc = ref [] in
+      Array.iteri (fun k succs -> if succs = [] then acc := k :: !acc) s.dag;
+      List.rev !acc
 
 let sink_components g =
   let t = make g in
-  List.map (fun k -> t.comps.(k)) (sinks t)
+  let comps = components t in
+  List.map (fun k -> comps.(k)) (sinks t)
+
+let sink_components_baseline g =
+  let t = make_baseline g in
+  let comps = components t in
+  List.map (fun k -> comps.(k)) (sinks t)
 
 let unique_sink g =
   match sink_components g with [ c ] -> Some c | _ -> None

@@ -2,11 +2,18 @@
    (unbounded for the two endpoints), and each graph edge (u, v) becomes
    u_out -> v_in with capacity 1. Edge capacity 1 is exact here: two
    internally disjoint paths can never share an edge, because sharing an
-   edge implies sharing one of its endpoints as an internal vertex. *)
+   edge implies sharing one of its endpoints as an internal vertex.
+
+   The fast path builds the network straight from the compiled CSR rows
+   (dense index k maps to nodes 2k / 2k+1) — for the masked variant
+   used by f-reachability it applies a bool mask instead of
+   materialising an induced subgraph. Max-flow values are unique, so
+   every path agrees with the seed construction, kept below as the
+   negative-pid fallback and test baseline. *)
 
 let big = 1_000_000
 
-let node_disjoint_paths g src dst =
+let node_disjoint_paths_baseline g src dst =
   if Pid.equal src dst then 0
   else if not (Digraph.mem_vertex src g && Digraph.mem_vertex dst g) then 0
   else begin
@@ -27,6 +34,37 @@ let node_disjoint_paths g src dst =
       g ();
     Flow.max_flow net
   end
+
+(* Menger on the compiled handle, restricted to dense vertices with
+   [mask.(v)] set (the endpoints [s] and [t] must be masked). *)
+let menger_masked h mask s t =
+  let n = Csr.n_vertices h in
+  let off = Csr.succ_off h and arr = Csr.succ_arr h in
+  let net = Flow.create ~n:(2 * n) ~source:(2 * s) ~sink:((2 * t) + 1) in
+  for v = 0 to n - 1 do
+    if mask.(v) then
+      let cap = if v = s || v = t then big else 1 in
+      Flow.add_edge net (2 * v) ((2 * v) + 1) cap
+  done;
+  for u = 0 to n - 1 do
+    if mask.(u) then
+      for i = off.(u) to off.(u + 1) - 1 do
+        let v = arr.(i) in
+        if mask.(v) then Flow.add_edge net ((2 * u) + 1) (2 * v) 1
+      done
+  done;
+  Flow.max_flow net
+
+let node_disjoint_paths g src dst =
+  match Csr.get g with
+  | None -> node_disjoint_paths_baseline g src dst
+  | Some h -> (
+      if Pid.equal src dst then 0
+      else
+        match (Csr.index_of h src, Csr.index_of h dst) with
+        | Some s, Some t ->
+            menger_masked h (Array.make (Csr.n_vertices h) true) s t
+        | _ -> 0)
 
 let is_k_strongly_connected g k =
   let verts = Pid.Set.elements (Digraph.vertices g) in
@@ -55,8 +93,26 @@ let vertex_connectivity g =
         max_int verts
 
 let disjoint_paths_within g ~allowed src dst =
-  let keep = Pid.Set.add src (Pid.Set.add dst allowed) in
-  node_disjoint_paths (Digraph.subgraph keep g) src dst
+  match Csr.get g with
+  | None ->
+      let keep = Pid.Set.add src (Pid.Set.add dst allowed) in
+      node_disjoint_paths_baseline (Digraph.subgraph keep g) src dst
+  | Some h -> (
+      if Pid.equal src dst then 0
+      else
+        match (Csr.index_of h src, Csr.index_of h dst) with
+        | Some s, Some t ->
+            let mask = Array.make (Csr.n_vertices h) false in
+            Pid.Set.iter
+              (fun v ->
+                match Csr.index_of h v with
+                | Some k -> mask.(k) <- true
+                | None -> ())
+              allowed;
+            mask.(s) <- true;
+            mask.(t) <- true;
+            menger_masked h mask s t
+        | _ -> 0)
 
 let f_reachable g ~correct f src dst =
   Pid.Set.mem src correct && Pid.Set.mem dst correct

@@ -4,7 +4,13 @@
     All path counts are computed exactly, via max-flow on a node-split
     network (Menger's theorem): two directed paths from [i] to [j] are
     counted as disjoint when they share no vertex other than [i] and
-    [j]. *)
+    [j].
+
+    Networks are built straight from the compiled {!Csr} rows (for the
+    restricted variant, via a bool mask rather than an induced
+    subgraph); graphs naming negative pids fall back to the seed
+    construction, also exposed as {!node_disjoint_paths_baseline}.
+    Max-flow values are unique, so all paths agree exactly. *)
 
 val node_disjoint_paths : Digraph.t -> Pid.t -> Pid.t -> int
 (** Maximum number of internally node-disjoint directed paths from the
@@ -29,3 +35,8 @@ val f_reachable : Digraph.t -> correct:Pid.Set.t -> int -> Pid.t -> Pid.t -> boo
 val disjoint_paths_within : Digraph.t -> allowed:Pid.Set.t -> Pid.t -> Pid.t -> int
 (** Disjoint-path count restricted to the subgraph induced by
     [allowed] (the endpoints are added to [allowed] implicitly). *)
+
+val node_disjoint_paths_baseline : Digraph.t -> Pid.t -> Pid.t -> int
+(** The seed construction (Hashtbl-interned node-split network), kept
+    as the negative-pid fallback and the qcheck baseline for the CSR
+    path. *)

@@ -1,0 +1,81 @@
+(** Compiled compressed-sparse-row (CSR) graphs: the array kernel the
+    heavy graph analyses run on.
+
+    A {!Digraph.t} is compiled once into dense int arrays — a
+    deterministic pid ↔ dense-index interning (ascending pid order) plus
+    [succ]/[pred] adjacency rows behind offset arrays — and the handle
+    memoizes the SCC partition and the condensation, so the consumers
+    that condense the same graph once per query (the sink oracle of
+    Definition 8, the k-OSR checks, pipeline sweeps) pay for the
+    analysis once per graph instead. Results are guaranteed identical to
+    the seed tree-set algorithms, including SCC emission order and
+    condensation successor-list order; graphs naming negative pids are
+    not representable and make {!of_graph}/{!get} return [None], in
+    which case callers fall back to the seed path (exactly the quorum
+    kernel's fallback rule). *)
+
+type t
+(** A compiled graph handle. Immutable as seen through this interface;
+    internally it caches analysis results on first use. *)
+
+val of_graph : Digraph.t -> t option
+(** Compiles the graph: O(V log V + E). [None] when some vertex is a
+    negative pid. *)
+
+val get : Digraph.t -> t option
+(** Memoized {!of_graph}: a bounded most-recently-used cache keyed by
+    {e physical} equality of the graph value (graphs are immutable, so
+    hits can never be stale). This is the entry point the rewired
+    analyses use. *)
+
+val graph : t -> Digraph.t
+
+val n_vertices : t -> int
+
+val pid_of : t -> int -> Pid.t
+(** Dense index -> pid. Indices are assigned in ascending pid order. *)
+
+val index_of : t -> Pid.t -> int option
+(** Pid -> dense index; [None] when the pid is not a vertex. *)
+
+val succ_off : t -> int array
+(** Offsets into {!succ_arr}: the successors of dense vertex [v] are
+    [succ_arr.(succ_off.(v)) .. succ_arr.(succ_off.(v+1) - 1)], sorted
+    ascending. Length [n + 1]. Callers must not mutate. *)
+
+val succ_arr : t -> int array
+
+val pred_off : t -> int array
+
+val pred_arr : t -> int array
+
+(** {1 Strongly connected components}
+
+    Computed on first use with an iterative array Tarjan and cached in
+    the handle. Component ids are the seed's emission order: a component
+    is emitted only after every component reachable from it. *)
+
+val scc_count : t -> int
+
+val scc_comp_of_dense : t -> int array
+(** Dense vertex -> component id. Callers must not mutate. *)
+
+val scc_component_of : t -> Pid.t -> int option
+
+val scc_component_sets : t -> Pid.Set.t array
+(** Component id -> vertex set. Shared, cached array — callers must not
+    mutate. *)
+
+val scc_components : t -> Pid.Set.t list
+(** The components in emission order, exactly {!Scc.components}. *)
+
+(** {1 Condensation DAG}
+
+    Computed on first use and cached. *)
+
+val dag_succs : t -> int list array
+(** Component id -> successor component ids, element-for-element equal
+    to the seed condensation's lists. Callers must not mutate. *)
+
+val dag_sinks : t -> int list
+(** Ids of components with no outgoing DAG edge, ascending. *)

@@ -33,7 +33,18 @@ let remove_vertex i g =
   let drop m = Pid.Map.map (Pid.Set.remove i) (Pid.Map.remove i m) in
   { succ = drop g.succ; pred = drop g.pred }
 
-let remove_vertices vs g = Pid.Set.fold remove_vertex vs g
+let remove_vertices vs g =
+  (* One pass per map instead of folding [remove_vertex] (which rebuilds
+     both maps once per removed vertex): drop the removed keys and
+     subtract [vs] from every surviving adjacency row. *)
+  if Pid.Set.is_empty vs then g
+  else
+    let drop m =
+      Pid.Map.filter_map
+        (fun i s -> if Pid.Set.mem i vs then None else Some (Pid.Set.diff s vs))
+        m
+    in
+    { succ = drop g.succ; pred = drop g.pred }
 
 let of_edges es = List.fold_left (fun g (i, j) -> add_edge i j g) empty es
 
@@ -50,6 +61,7 @@ let edges g =
   |> List.rev
 
 let fold_vertices f g acc = Pid.Map.fold (fun i _ acc -> f i acc) g.succ acc
+let iter_succs f g = Pid.Map.iter f g.succ
 let fold_edges f g acc = List.fold_left (fun acc (i, j) -> f i j acc) acc (edges g)
 
 let subgraph vs g =

@@ -51,6 +51,11 @@ val fold_vertices : (Pid.t -> 'a -> 'a) -> t -> 'a -> 'a
 
 val fold_edges : (Pid.t -> Pid.t -> 'a -> 'a) -> t -> 'a -> 'a
 
+val iter_succs : (Pid.t -> Pid.Set.t -> unit) -> t -> unit
+(** Visits every vertex with its successor set, in ascending vertex
+    order, without the per-vertex lookup cost of {!succs}. This is the
+    traversal the {!Csr} compiler is built on. *)
+
 val subgraph : Pid.Set.t -> t -> t
 (** [subgraph vs g] is the subgraph induced by the vertices [vs]. *)
 

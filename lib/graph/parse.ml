@@ -1,49 +1,122 @@
-let strip_comment line =
-  match String.index_opt line '#' with
-  | Some i -> String.sub line 0 i
-  | None -> line
+(* A single-pass scanner over the raw text: line splitting, comment
+   stripping, trimming and token parsing all work on index ranges into
+   the input, so a parse allocates nothing per line beyond the graph
+   itself (the seed split/trim/filter_map pipeline allocated several
+   intermediate strings and lists per line). Semantics are unchanged:
+   same accepted inputs — including signed, hex and underscored ids,
+   via the [int_of_string_opt] fallback — and the same error messages,
+   line numbers included. *)
+
+let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\012'
+
+(* [int_of_string_opt] on [text[s..e)], with an allocation-free fast
+   path for the all-digit tokens that dominate real inputs (18 digits
+   always fit in an OCaml int). *)
+let parse_int text s e =
+  let len = e - s in
+  if len = 0 then None
+  else begin
+    let all_digits = ref (len <= 18) in
+    let i = ref s in
+    while !all_digits && !i < e do
+      let c = String.unsafe_get text !i in
+      if c < '0' || c > '9' then all_digits := false else incr i
+    done;
+    if !all_digits then begin
+      let v = ref 0 in
+      for j = s to e - 1 do
+        v := (!v * 10) + (Char.code (String.unsafe_get text j) - Char.code '0')
+      done;
+      Some !v
+    end
+    else int_of_string_opt (String.sub text s len)
+  end
 
 let of_string text =
-  let lines = String.split_on_char '\n' text in
-  let rec go lineno g = function
-    | [] -> Ok g
-    | line :: rest -> (
-        let line = String.trim (strip_comment line) in
-        if line = "" then go (lineno + 1) g rest
-        else
-          match String.index_opt line ':' with
-          | None ->
-              Error
-                (Printf.sprintf "line %d: expected 'vertex: succ...'" lineno)
-          | Some i -> (
-              let vertex = String.trim (String.sub line 0 i) in
-              let succs =
-                String.sub line (i + 1) (String.length line - i - 1)
-                |> String.split_on_char ' '
-                |> List.filter_map (fun s ->
-                       let s = String.trim s in
-                       if s = "" then None else Some s)
-              in
-              match
-                ( int_of_string_opt vertex,
-                  List.map int_of_string_opt succs )
-              with
-              | None, _ ->
-                  Error
-                    (Printf.sprintf "line %d: bad vertex id %S" lineno vertex)
-              | Some v, parsed ->
-                  if List.exists Option.is_none parsed then
-                    Error
-                      (Printf.sprintf "line %d: bad successor id" lineno)
-                  else
-                    let g =
-                      List.fold_left
-                        (fun g s -> Digraph.add_edge v (Option.get s) g)
-                        (Digraph.add_vertex v g) parsed
-                    in
-                    go (lineno + 1) g rest))
-  in
-  go 1 Digraph.empty lines
+  let len = String.length text in
+  let g = ref Digraph.empty in
+  let err = ref None in
+  let pos = ref 0 in
+  let lineno = ref 1 in
+  let running = ref true in
+  while !running do
+    let ls = !pos in
+    let le =
+      match String.index_from_opt text ls '\n' with Some i -> i | None -> len
+    in
+    (* Cut the line at the first '#', then trim both ends. *)
+    let ce = ref ls in
+    while !ce < le && text.[!ce] <> '#' do
+      incr ce
+    done;
+    let a = ref ls and b = ref !ce in
+    while !a < !b && is_space text.[!a] do
+      incr a
+    done;
+    while !b > !a && is_space text.[!b - 1] do
+      decr b
+    done;
+    if !a < !b then begin
+      let colon = ref !a in
+      while !colon < !b && text.[!colon] <> ':' do
+        incr colon
+      done;
+      if !colon = !b then
+        err := Some (Printf.sprintf "line %d: expected 'vertex: succ...'" !lineno)
+      else begin
+        let ve = ref !colon in
+        while !ve > !a && is_space text.[!ve - 1] do
+          decr ve
+        done;
+        match parse_int text !a !ve with
+        | None ->
+            err :=
+              Some
+                (Printf.sprintf "line %d: bad vertex id %S" !lineno
+                   (String.sub text !a (!ve - !a)))
+        | Some v ->
+            (* Successor tokens: split on ' ', trim each of the
+               remaining whitespace, skip empties. *)
+            let succs = ref [] in
+            let ok = ref true in
+            let i = ref (!colon + 1) in
+            while !ok && !i < !b do
+              if text.[!i] = ' ' then incr i
+              else begin
+                let ts = ref !i in
+                while !i < !b && text.[!i] <> ' ' do
+                  incr i
+                done;
+                let te = ref !i in
+                while !ts < !te && is_space text.[!ts] do
+                  incr ts
+                done;
+                while !te > !ts && is_space text.[!te - 1] do
+                  decr te
+                done;
+                if !ts < !te then
+                  match parse_int text !ts !te with
+                  | None -> ok := false
+                  | Some s -> succs := s :: !succs
+              end
+            done;
+            if not !ok then
+              err := Some (Printf.sprintf "line %d: bad successor id" !lineno)
+            else
+              g :=
+                List.fold_left
+                  (fun g s -> Digraph.add_edge v s g)
+                  (Digraph.add_vertex v !g)
+                  (List.rev !succs)
+      end
+    end;
+    if Option.is_some !err || le >= len then running := false
+    else begin
+      pos := le + 1;
+      incr lineno
+    end
+  done;
+  match !err with Some e -> Error e | None -> Ok !g
 
 let of_file path =
   match open_in path with

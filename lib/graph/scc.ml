@@ -1,3 +1,12 @@
+(* The fast path compiles the graph to CSR int arrays (memoized in
+   Csr's handle cache) and runs the allocation-free array Tarjan there;
+   the seed tree-set implementation below is kept verbatim as the
+   fallback for negative-pid graphs and as the qcheck/bench baseline.
+   Both emit components in the same order — Csr's determinism
+   contract. *)
+
+(* ---- seed implementation (baseline + negative-pid fallback) ---------- *)
+
 (* Iterative Tarjan: an explicit stack mirrors the recursion so large
    graphs cannot overflow the OCaml stack. *)
 
@@ -10,7 +19,7 @@ type state = {
   mutable sccs : Pid.Set.t list;
 }
 
-let components g =
+let components_baseline g =
   let st =
     {
       index = 0;
@@ -65,19 +74,44 @@ let components g =
     (Digraph.vertices g);
   List.rev st.sccs
 
+(* ---- public API: CSR with seed fallback ------------------------------ *)
+
+let components g =
+  match Csr.get g with
+  | Some h -> Csr.scc_components h
+  | None -> components_baseline g
+
 let component_of g i =
-  match List.find_opt (Pid.Set.mem i) (components g) with
-  | Some c -> c
-  | None -> raise Not_found
+  match Csr.get g with
+  | Some h -> (
+      match Csr.scc_component_of h i with
+      | Some k -> (Csr.scc_component_sets h).(k)
+      | None -> raise Not_found)
+  | None -> (
+      match List.find_opt (Pid.Set.mem i) (components_baseline g) with
+      | Some c -> c
+      | None -> raise Not_found)
 
 let component_index g =
-  let _, m =
-    List.fold_left
-      (fun (k, m) c ->
-        (k + 1, Pid.Set.fold (fun v m -> Pid.Map.add v k m) c m))
-      (0, Pid.Map.empty) (components g)
-  in
-  m
+  match Csr.get g with
+  | Some h ->
+      let comp_of = Csr.scc_comp_of_dense h in
+      let m = ref Pid.Map.empty in
+      for v = 0 to Csr.n_vertices h - 1 do
+        m := Pid.Map.add (Csr.pid_of h v) comp_of.(v) !m
+      done;
+      !m
+  | None ->
+      let _, m =
+        List.fold_left
+          (fun (k, m) c ->
+            (k + 1, Pid.Set.fold (fun v m -> Pid.Map.add v k m) c m))
+          (0, Pid.Map.empty) (components_baseline g)
+      in
+      m
 
 let is_strongly_connected g =
-  match components g with [] -> true | [ _ ] -> true | _ -> false
+  match Csr.get g with
+  | Some h -> Csr.scc_count h <= 1
+  | None -> (
+      match components_baseline g with [] -> true | [ _ ] -> true | _ -> false)

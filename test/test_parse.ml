@@ -31,6 +31,45 @@ let test_errors_name_the_line () =
         (String.length e > 0)
   | Ok _ -> Alcotest.fail "expected bad successor error"
 
+(* The single-pass scanner must keep the seed's exact error strings and
+   its [int_of_string] token semantics (hex, signs, underscores). *)
+let test_malformed_inputs () =
+  let err text = match Parse.of_string text with
+    | Error e -> e
+    | Ok _ -> Alcotest.failf "expected an error for %S" text
+  in
+  Alcotest.(check string) "missing colon"
+    "line 1: expected 'vertex: succ...'" (err "42\n");
+  Alcotest.(check string) "bad vertex id"
+    "line 1: bad vertex id \"x1\"" (err "x1: 2\n");
+  Alcotest.(check string) "empty vertex id"
+    "line 1: bad vertex id \"\"" (err ": 2\n");
+  Alcotest.(check string) "vertex with inner space"
+    "line 1: bad vertex id \"1 2\"" (err "1 2: 3\n");
+  Alcotest.(check string) "bad successor id"
+    "line 1: bad successor id" (err "1: 2 y\n");
+  Alcotest.(check string) "second colon poisons successor"
+    "line 1: bad successor id" (err "1: 2:3\n");
+  Alcotest.(check string) "line numbers count blanks and comments"
+    "line 4: bad successor id" (err "# header\n\n1: 2\n2: z\n");
+  (* Accepted edge cases, unchanged from the seed parser. *)
+  let ok text = match Parse.of_string text with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "expected %S to parse: %s" text e
+  in
+  let g = ok "1: 0x10 +2 -3 1_0\n" in
+  Alcotest.check pid_set "int_of_string successor forms"
+    (Pid.Set.of_list [ 16; 2; -3; 10 ])
+    (Digraph.succs g 1);
+  let g = ok "  7  :\t8   9 # tail\n" in
+  Alcotest.check pid_set "whitespace-heavy line"
+    (Pid.Set.of_list [ 8; 9 ])
+    (Digraph.succs g 7);
+  Alcotest.(check bool) "huge id falls back to int_of_string" true
+    (match Parse.of_string "1: 99999999999999999999999999\n" with
+    | Error _ -> true
+    | Ok _ -> false)
+
 let test_of_file_missing () =
   match Parse.of_file "/nonexistent/graph.txt" with
   | Error _ -> ()
@@ -54,6 +93,7 @@ let suites =
           test_comments_and_blanks;
         Alcotest.test_case "errors name the line" `Quick
           test_errors_name_the_line;
+        Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
         Alcotest.test_case "missing file" `Quick test_of_file_missing;
         QCheck_alcotest.to_alcotest prop_roundtrip_random;
       ] );
