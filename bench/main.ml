@@ -4,7 +4,8 @@
      dune exec bench/main.exe            -- experiments + microbenches
      dune exec bench/main.exe -- exp     -- experiment tables only
      dune exec bench/main.exe -- micro   -- bechamel microbenches only
-                                            (writes BENCH_quorum.json)
+                                            (writes BENCH_quorum.json and
+                                            BENCH_analysis.json)
      dune exec bench/main.exe -- markdown -- tables as markdown on stdout
      dune exec bench/main.exe -- sweep   -- sequential-vs-parallel sweep
                                             timings (writes
@@ -18,7 +19,8 @@
      dune exec bench/main.exe -- check-regress [--tolerance R]
                                          -- re-measure the microbenches
                                             and exit 1 if any committed
-                                            BENCH_quorum.json subject
+                                            BENCH_quorum.json or
+                                            BENCH_analysis.json subject
                                             slowed down by more than R
                                             (default 0.5, i.e. +50%)
 
@@ -254,6 +256,50 @@ let bench_dset_enum_baseline =
   Test.make ~name:subject_dset_enum_baseline (Staged.stage (fun () ->
       ignore (enum_baseline_is_dset sys b)))
 
+let subject_minq_bb = "analysis/min-quorums-bb n=10"
+let subject_minq_gosper = "analysis/min-quorums-gosper-baseline n=10"
+
+(* The branch-and-bound enumerator against the Gosper sweep it
+   replaced, on the same 7-of-10 system (120 minimal quorums). *)
+let bench_minq_bb =
+  let sys = threshold_system 10 7 in
+  Test.make ~name:subject_minq_bb (Staged.stage (fun () ->
+      ignore (Fbqs.Enum.minimal_quorums (Fbqs.Enum.prepare sys))))
+
+let bench_minq_gosper =
+  let sys = threshold_system 10 7 in
+  Test.make ~name:subject_minq_gosper (Staged.stage (fun () ->
+      ignore (Fbqs.Quorum.minimal_quorums sys)))
+
+(* A shrunk stellarbeat-like topology (same three-tier shape as the
+   committed test/fixtures/live_network.fbas, scaled so one analysis
+   fits a bechamel quota): what `fbas analyze` costs per phase at
+   beyond-Gosper size. *)
+let small_stellarbeat () =
+  Fbqs.Topology.stellarbeat_like ~orgs:5 ~validators_per_org:2 ~mid:12
+    ~leaves:24 ~seed:2 ()
+
+let subject_minq_stellarbeat = "analysis/min-quorums-bb stellarbeat n=46"
+let subject_inter_stellarbeat = "analysis/intersection-bb stellarbeat n=46"
+let subject_blocking_stellarbeat = "analysis/blocking-sets-bb stellarbeat n=46"
+
+let bench_analysis_minq_stellarbeat =
+  let sys = small_stellarbeat () in
+  Test.make ~name:subject_minq_stellarbeat
+    (Staged.stage (fun () ->
+         ignore (Fbqs.Enum.minimal_quorums (Fbqs.Enum.prepare sys))))
+
+let bench_analysis_intersection_stellarbeat =
+  let sys = small_stellarbeat () in
+  Test.make ~name:subject_inter_stellarbeat
+    (Staged.stage (fun () -> ignore (Fbqs.Enum.quorum_intersection sys)))
+
+let bench_analysis_blocking_stellarbeat =
+  let sys = small_stellarbeat () in
+  Test.make ~name:subject_blocking_stellarbeat
+    (Staged.stage (fun () ->
+         ignore (Fbqs.Enum.minimal_blocking_sets (Fbqs.Enum.prepare sys))))
+
 let subject_engine_send_notrace = "engine/send-notrace x1000"
 let subject_engine_send_alloc = "engine/send-alloc-baseline x1000"
 
@@ -358,6 +404,11 @@ let microbenches () =
       bench_blocking_cascade;
       bench_dset_check;
       bench_dset_enum_baseline;
+      bench_minq_bb;
+      bench_minq_gosper;
+      bench_analysis_minq_stellarbeat;
+      bench_analysis_intersection_stellarbeat;
+      bench_analysis_blocking_stellarbeat;
       bench_engine_send_notrace;
       bench_engine_send_alloc_baseline;
       bench_parse_roundtrip;
@@ -366,6 +417,21 @@ let microbenches () =
 (* ---- machine-readable bench results ---------------------------------- *)
 
 let bench_json_file = "BENCH_quorum.json"
+let analysis_json_file = "BENCH_analysis.json"
+
+(* The analyzer subjects live in their own committed file so the
+   analysis-engine perf trajectory is legible on its own;
+   [check-regress] covers both files. The pre-existing
+   analysis/blocking-cascade subject predates the split and stays in
+   BENCH_quorum.json. *)
+let analysis_subjects =
+  [
+    subject_minq_bb;
+    subject_minq_gosper;
+    subject_minq_stellarbeat;
+    subject_inter_stellarbeat;
+    subject_blocking_stellarbeat;
+  ]
 
 let strip_group name =
   let prefix = "kernels " in
@@ -421,7 +487,53 @@ let scp_run_counters () =
 (* [rows]: (subject, ns/run) sorted by subject. The comparisons pit the
    dense bitset kernel against the seed's tree-set path on the same
    workload; [speedup] > 1 means the dense kernel is faster. *)
-let write_bench_json rows =
+let write_analysis_json rows =
+  let find name = List.assoc_opt name rows in
+  let comparisons =
+    List.filter_map
+      (fun (subject, baseline) ->
+        match (find subject, find baseline) with
+        | Some s, Some b when s > 0. && not (Float.is_nan b) ->
+            Some (subject, baseline, b /. s)
+        | _ -> None)
+      [ (subject_minq_bb, subject_minq_gosper) ]
+  in
+  let oc = open_out analysis_json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"stellar-cup/bench-analysis/v1\",\n";
+  out "  \"git_sha\": \"%s\",\n" (json_escape (git_sha ()));
+  out "  \"unit\": \"ns_per_run\",\n";
+  out "  \"subjects\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %.2f}%s\n"
+        (json_escape name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n";
+  out "  \"comparisons\": [\n";
+  List.iteri
+    (fun i (subject, baseline, speedup) ->
+      out
+        "    {\"subject\": \"%s\", \"baseline\": \"%s\", \"speedup\": %.2f}%s\n"
+        (json_escape subject) (json_escape baseline) speedup
+        (if i = List.length comparisons - 1 then "" else ","))
+    comparisons;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  List.iter
+    (fun (subject, baseline, speedup) ->
+      Format.printf "speedup: %s is %.1fx the %s path@." subject speedup
+        baseline)
+    comparisons;
+  Format.printf "results written to %s@." analysis_json_file
+
+let write_bench_json all_rows =
+  let analysis_rows, rows =
+    List.partition (fun (name, _) -> List.mem name analysis_subjects) all_rows
+  in
   let find name = List.assoc_opt name rows in
   let comparisons =
     List.filter_map
@@ -471,7 +583,8 @@ let write_bench_json rows =
       Format.printf "speedup: %s is %.1fx the %s path@." subject speedup
         baseline)
     comparisons;
-  Format.printf "results written to %s@." bench_json_file
+  Format.printf "results written to %s@." bench_json_file;
+  write_analysis_json analysis_rows
 
 let measure_rows () =
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
@@ -641,8 +754,8 @@ let parse_bench_subjects contents =
    and is never rewritten here, so the gate can run in CI ahead of the
    [micro] mode that regenerates it. *)
 let check_regress ~tolerance =
-  let committed =
-    match open_in_bin bench_json_file with
+  let subjects_of file =
+    match open_in_bin file with
     | exception Sys_error msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 2
@@ -650,14 +763,19 @@ let check_regress ~tolerance =
         let n = in_channel_length ic in
         let s = really_input_string ic n in
         close_in ic;
-        parse_bench_subjects s
+        let subjects = parse_bench_subjects s in
+        if subjects = [] then begin
+          Printf.eprintf "error: no subjects found in %s\n" file;
+          exit 2
+        end;
+        subjects
   in
-  if committed = [] then begin
-    Printf.eprintf "error: no subjects found in %s\n" bench_json_file;
-    exit 2
-  end;
-  Format.printf "== check-regress: tolerance +%.0f%% over committed %s ==@."
-    (tolerance *. 100.) bench_json_file;
+  let committed =
+    subjects_of bench_json_file @ subjects_of analysis_json_file
+  in
+  Format.printf
+    "== check-regress: tolerance +%.0f%% over committed %s + %s ==@."
+    (tolerance *. 100.) bench_json_file analysis_json_file;
   let rows = measure_rows () in
   let regressions = ref 0 in
   List.iter

@@ -8,6 +8,9 @@
      graph render         Graphviz rendering
      experiment list      available experiment ids
      experiment show ID   one experiment table (e1..e12, e4b) or 'all'
+     fbas analyze FILE    FBQS health analysis (minimal quorums,
+                          intersection, blocking/splitting sets)
+     fbas gen             deterministic live-network-shaped topology
 
    Graphs are selected with --graph fig1 | fig2 | random | family plus
    the generator parameters. Traces are JSONL streams of structured
@@ -555,6 +558,279 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Paper-artifact experiments")
     [ experiment_show_cmd; experiment_list_cmd ]
 
+(* ---- fbas -------------------------------------------------------------- *)
+
+let load_system path =
+  match Fbqs.Fbas_io.of_file path with
+  | Ok sys -> sys
+  | Error e -> failwith (Printf.sprintf "cannot read %s: %s" path e)
+
+let pid_set_json s =
+  Obs.Json.List (List.map (fun i -> Obs.Json.Int i) (Pid.Set.elements s))
+
+let set_family_json ?(cap = max_int) sets =
+  let count = List.length sets in
+  let sizes = List.map Pid.Set.cardinal sets in
+  let listed = List.filteri (fun i _ -> i < cap) sets in
+  [
+    ("count", Obs.Json.Int count);
+    ( "size_min",
+      match sizes with
+      | [] -> Obs.Json.Null
+      | s -> Obs.Json.Int (List.fold_left min max_int s) );
+    ( "size_max",
+      match sizes with
+      | [] -> Obs.Json.Null
+      | s -> Obs.Json.Int (List.fold_left max 0 s) );
+    ("listed", Obs.Json.Int (List.length listed));
+    ("sets", Obs.Json.List (List.map pid_set_json listed));
+  ]
+
+let fbas_analyze file despite_ids blocking splitting max_size cap want_metrics
+    json =
+  let sys = load_system file in
+  let metrics = if want_metrics then Some (Obs.Metrics.create ()) else None in
+  let t = Fbqs.Enum.prepare ?metrics sys in
+  let participants = Fbqs.Quorum.participants sys in
+  let minq = Fbqs.Enum.minimal_quorums t in
+  let inter = Fbqs.Enum.check_intersection t in
+  let top = Fbqs.Enum.top_tier t in
+  let blocking_r =
+    if blocking then Some (Fbqs.Enum.minimal_blocking_sets t) else None
+  in
+  let splitting_r =
+    if splitting then
+      Some (Fbqs.Enum.minimal_splitting_sets ?metrics ?max_size t)
+    else None
+  in
+  let despite =
+    List.map
+      (fun ids ->
+        let b = Pid.Set.of_list ids in
+        (b, Fbqs.Enum.quorum_intersection_despite ?metrics sys b))
+      despite_ids
+  in
+  let stats = Fbqs.Enum.stats t in
+  if json then begin
+    let fields =
+      [
+        ("participants", Obs.Json.Int (Pid.Set.cardinal participants));
+        ("minimal_quorums", Obs.Json.Obj (set_family_json ~cap minq));
+        ("top_tier", pid_set_json top);
+        ( "intersection",
+          match inter with
+          | Fbqs.Enum.Intersects ->
+              Obs.Json.Obj [ ("intersects", Obs.Json.Bool true) ]
+          | Fbqs.Enum.Disjoint (q1, q2) ->
+              Obs.Json.Obj
+                [
+                  ("intersects", Obs.Json.Bool false);
+                  ( "witness",
+                    Obs.Json.List [ pid_set_json q1; pid_set_json q2 ] );
+                ] );
+      ]
+      @ (match blocking_r with
+        | None -> []
+        | Some { Fbqs.Enum.sets; complete } ->
+            [
+              ( "blocking",
+                Obs.Json.Obj
+                  (set_family_json ~cap sets
+                  @ [ ("complete", Obs.Json.Bool complete) ]) );
+            ])
+      @ (match splitting_r with
+        | None -> []
+        | Some sets ->
+            [ ("splitting", Obs.Json.Obj (set_family_json ~cap sets)) ])
+      @ (match despite with
+        | [] -> []
+        | l ->
+            [
+              ( "despite",
+                Obs.Json.List
+                  (List.map
+                     (fun (b, ok) ->
+                       Obs.Json.Obj
+                         [
+                           ("deleted", pid_set_json b);
+                           ("intersects", Obs.Json.Bool ok);
+                         ])
+                     l) );
+            ])
+      @ [
+          ( "stats",
+            Obs.Json.Obj
+              [
+                ("explored", Obs.Json.Int stats.Fbqs.Enum.explored);
+                ("pruned", Obs.Json.Int stats.Fbqs.Enum.pruned);
+                ("found", Obs.Json.Int stats.Fbqs.Enum.found);
+              ] );
+        ]
+      @ Option.to_list
+          (Option.map (fun m -> ("metrics", Obs.Metrics.to_json m)) metrics)
+    in
+    print_json (Obs.Json.Obj fields)
+  end
+  else begin
+    Format.printf "participants: %d@." (Pid.Set.cardinal participants);
+    (match minq with
+    | [] -> Format.printf "minimal quorums: none@."
+    | _ ->
+        Format.printf "minimal quorums: %d (sizes %d..%d)@."
+          (List.length minq)
+          (List.fold_left min max_int (List.map Pid.Set.cardinal minq))
+          (List.fold_left max 0 (List.map Pid.Set.cardinal minq)));
+    Format.printf "top tier: %a@." Pid.Set.pp top;
+    (match inter with
+    | Fbqs.Enum.Intersects -> Format.printf "quorum intersection: yes@."
+    | Fbqs.Enum.Disjoint (q1, q2) ->
+        Format.printf "quorum intersection: NO — disjoint %a / %a@." Pid.Set.pp
+          q1 Pid.Set.pp q2);
+    (match blocking_r with
+    | None -> ()
+    | Some { Fbqs.Enum.sets; complete } ->
+        Format.printf "minimal blocking sets: %d%s@." (List.length sets)
+          (if complete then "" else " (truncated)"));
+    (match splitting_r with
+    | None -> ()
+    | Some sets ->
+        Format.printf "minimal splitting sets: %d%s@." (List.length sets)
+          (match max_size with
+          | Some k -> Printf.sprintf " (up to size %d)" k
+          | None -> ""));
+    List.iter
+      (fun (b, ok) ->
+        Format.printf "intersection despite %a: %b@." Pid.Set.pp b ok)
+      despite;
+    Format.printf "search: explored=%d pruned=%d quorums_found=%d@."
+      stats.Fbqs.Enum.explored stats.Fbqs.Enum.pruned stats.Fbqs.Enum.found;
+    Option.iter (Format.printf "%a@." Obs.Metrics.pp) metrics
+  end
+
+let fbas_file_term =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Slice system in stellar-cup fbas v1 format.")
+
+let fbas_analyze_cmd =
+  let despite =
+    Arg.(
+      value
+      & opt_all (list int) []
+      & info [ "despite" ] ~docv:"IDS"
+          ~doc:"Also check quorum intersection despite deleting the \
+                comma-separated node set $(docv) (repeatable).")
+  in
+  let blocking =
+    Arg.(
+      value & flag
+      & info [ "blocking" ]
+          ~doc:"Also enumerate minimal blocking sets (minimal hitting sets \
+                of the minimal quorums).")
+  in
+  let splitting =
+    Arg.(
+      value & flag
+      & info [ "splitting" ]
+          ~doc:"Also enumerate minimal splitting sets over the top tier \
+                (exponential in the top-tier size; see --max-size).")
+  in
+  let max_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-size" ] ~docv:"N"
+          ~doc:"Bound the splitting-set sweep at candidate size $(docv).")
+  in
+  let cap =
+    Arg.(
+      value & opt int 64
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"List at most $(docv) sets per family in reports (counts \
+                stay exact).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyse a federated Byzantine quorum system: minimal quorums, \
+             quorum intersection, top tier, blocking and splitting sets, \
+             by branch-and-bound enumeration")
+    Term.(
+      const fbas_analyze $ fbas_file_term $ despite $ blocking $ splitting
+      $ max_size $ cap $ metrics_term $ json_term)
+
+let fbas_gen output orgs vpo mid leaves seed json =
+  let sys =
+    Fbqs.Topology.stellarbeat_like ~orgs ~validators_per_org:vpo ~mid ~leaves
+      ~seed ()
+  in
+  let text = Fbqs.Fbas_io.to_string sys in
+  (match output with
+  | "-" -> print_string text
+  | path ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc);
+  if json then
+    print_json
+      (Obs.Json.Obj
+         [
+           ( "participants",
+             Obs.Json.Int (Pid.Set.cardinal (Fbqs.Quorum.participants sys)) );
+           ( "output",
+             if output = "-" then Obs.Json.Null else Obs.Json.String output );
+         ])
+  else if output <> "-" then
+    Format.printf "wrote %d nodes to %s@."
+      (Pid.Set.cardinal (Fbqs.Quorum.participants sys))
+      output
+
+let fbas_gen_cmd =
+  let output =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output path ('-': stdout).")
+  in
+  let orgs =
+    Arg.(
+      value & opt int 7
+      & info [ "orgs" ] ~docv:"N" ~doc:"Top-tier organisations.")
+  in
+  let vpo =
+    Arg.(
+      value & opt int 3
+      & info [ "validators-per-org" ] ~docv:"N"
+          ~doc:"Validators per organisation.")
+  in
+  let mid =
+    Arg.(
+      value & opt int 63
+      & info [ "mid" ] ~docv:"N" ~doc:"Middle-tier nodes.")
+  in
+  let leaves =
+    Arg.(
+      value & opt int 126
+      & info [ "leaves" ] ~docv:"N" ~doc:"Watcher (leaf) nodes.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Deterministic generator seed (same seed, same bytes, on \
+                every OCaml version).")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate a deterministic live-network-shaped slice system \
+             (stellarbeat-like three-tier topology)")
+    Term.(
+      const fbas_gen $ output $ orgs $ vpo $ mid $ leaves $ seed $ json_term)
+
+let fbas_cmd =
+  Cmd.group
+    (Cmd.info "fbas" ~doc:"Federated Byzantine quorum-system analysis")
+    [ fbas_analyze_cmd; fbas_gen_cmd ]
+
 (* ---- command wiring ---------------------------------------------------- *)
 
 let () =
@@ -567,4 +843,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ run_cmd; sink_cmd; graph_cmd; experiment_cmd ]))
+          [ run_cmd; sink_cmd; graph_cmd; experiment_cmd; fbas_cmd ]))

@@ -62,9 +62,9 @@ let liveness_level sys =
   | None -> Pid.Set.cardinal participants + 1
 
 let breaks_intersection sys b =
-  not (Dset.quorum_intersection_despite sys b)
+  not (Dset.quorum_intersection_despite_baseline sys b)
 
-let safety_level sys =
+let safety_level_baseline sys =
   let participants = Quorum.participants sys in
   match
     List.find_opt (breaks_intersection sys) (subsets_by_size participants)
@@ -72,7 +72,7 @@ let safety_level sys =
   | Some s -> Pid.Set.cardinal s
   | None -> Pid.Set.cardinal participants + 1
 
-let splitting_sets sys =
+let splitting_sets_baseline sys =
   let candidates =
     List.filter (breaks_intersection sys)
       (subsets_by_size (Quorum.participants sys))
@@ -85,5 +85,25 @@ let splitting_sets sys =
            candidates))
     candidates
 
-let top_tier sys =
+(* The production paths delegate to [Enum]'s branch-and-bound engine.
+   Splitting sets sweep the full participant set (not just the top
+   tier) so the semantics match the baseline exactly; the sweep is
+   still exponential in the participant count, but the per-candidate
+   intersection check is the scalable one. *)
+let safety_level sys =
+  let participants = Quorum.participants sys in
+  match
+    Enum.minimal_splitting_sets ~universe:participants (Enum.prepare sys)
+  with
+  | [] -> Pid.Set.cardinal participants + 1
+  | s :: _ -> Pid.Set.cardinal s
+
+let splitting_sets sys =
+  Enum.minimal_splitting_sets
+    ~universe:(Quorum.participants sys)
+    (Enum.prepare sys)
+
+let top_tier sys = Enum.top_tier (Enum.prepare sys)
+
+let top_tier_baseline sys =
   List.fold_left Pid.Set.union Pid.Set.empty (Quorum.minimal_quorums sys)

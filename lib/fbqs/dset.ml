@@ -1,28 +1,6 @@
 open Graphkit
 
-let delete sys b =
-  Pid.Map.filter_map
-    (fun i slices ->
-      if Pid.Set.mem i b then None
-      else
-        Some
-          (match slices with
-          | Slice.Explicit l ->
-              Slice.Explicit (List.map (fun s -> Pid.Set.diff s b) l)
-          | Slice.Threshold { members; threshold } ->
-              (* Deleting [b] from "all t-subsets of members" yields the
-                 set {s \ b}, whose weakest elements are the
-                 (t - |members ∩ b|)-subsets of the survivors; both
-                 has_slice_within and all_slices_intersect depend only
-                 on those, so the result is exactly a threshold slice
-                 over the survivors with the reduced threshold. *)
-              let hit = Pid.Set.cardinal (Pid.Set.inter members b) in
-              Slice.Threshold
-                {
-                  members = Pid.Set.diff members b;
-                  threshold = max 0 (threshold - hit);
-                }))
-    sys
+let delete = Quorum.delete
 
 (* Mazières' definition: V \ B must be a quorum of the ORIGINAL system
    (or B covers everything) — availability is judged before deletion,
@@ -53,8 +31,11 @@ let next_same_popcount c =
      almost immediately after the first quorum is found.
 
    Each minimal quorum [q] is checked on the spot: a disjoint partner
-   exists iff the complement of [q] still contains a quorum. *)
-let quorum_intersection_despite sys b =
+   exists iff the complement of [q] still contains a quorum. Kept as
+   the reference implementation; the production path below delegates
+   to [Enum]'s branch-and-bound, which drops the 20-participant guard
+   (equivalence is property-tested in test/test_enum.ml). *)
+let quorum_intersection_despite_baseline sys b =
   let deleted = delete sys b in
   let parts = Quorum.participants deleted in
   let elts = Array.of_list (Pid.Set.elements parts) in
@@ -102,6 +83,8 @@ let quorum_intersection_despite sys b =
     done;
     not !violated
   end
+
+let quorum_intersection_despite sys b = Enum.quorum_intersection_despite sys b
 
 (* [b] may name nodes outside the slice map (e.g. Byzantine processes
    that declared nothing): they belong to no quorum, so deleting them

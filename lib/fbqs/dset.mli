@@ -15,17 +15,21 @@ open Graphkit
 
 val delete : Quorum.system -> Pid.Set.t -> Quorum.system
 (** [delete sys b] removes the nodes of [b] from the system and from
-    every slice of the remaining nodes (Mazières' "delete"
-    operation). *)
+    every slice of the remaining nodes (Mazières' "delete" operation).
+    Alias of {!Quorum.delete}. *)
 
 val quorum_intersection_despite : Quorum.system -> Pid.Set.t -> bool
 (** Every two quorums of [delete sys b] intersect. Vacuously true when
-    the deleted system has at most one quorum. Decided by enumerating
-    minimal quorums in increasing cardinality with superset pruning and
-    a smallest-quorum early exit (two disjoint quorums need at least
-    [2 * kmin] nodes), so well-connected systems answer after a few
-    hundred membership tests instead of the full [2^n] pairwise sweep;
-    worst case remains exponential (guarded to 20 survivors). *)
+    the deleted system has at most one quorum. Delegates to
+    {!Enum.quorum_intersection_despite}, so it scales to live-network
+    topologies (no participant-count guard on non-negative pids). *)
+
+val quorum_intersection_despite_baseline :
+  Quorum.system -> Pid.Set.t -> bool
+(** The pre-[Enum] reference path: a Gosper sweep over survivors in
+    increasing cardinality with superset pruning and a smallest-quorum
+    early exit. Guarded to 20 survivors. Kept for the equivalence
+    property tests and benchmark comparisons. *)
 
 val quorum_availability_despite : Quorum.system -> Pid.Set.t -> bool
 (** The survivors [participants sys \ b] form a quorum of the

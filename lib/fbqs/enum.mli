@@ -1,0 +1,108 @@
+(** Branch-and-bound enumeration analyzer for FBQS at live-network
+    scale.
+
+    The Gosper/brute-force paths in {!Quorum}, {!Dset} and {!Analysis}
+    enumerate subsets and are capped at 20 participants; real Stellar
+    topologies have hundreds of validators. Deciding quorum
+    intersection is NP-hard (Lachowski, {i Complexity of the quorum
+    intersection property}), so this module takes the pruned-search
+    route of Gaul et al. ({i Mathematical Analysis and Algorithms for
+    FBAS}):
+
+    - contract the search space to the greatest quorum, then to the
+      strongly connected components of the trust graph that contain a
+      quorum (every minimal quorum lies inside exactly one such SCC —
+      on live topologies this is the small top tier);
+    - branch on pid-in/pid-out decisions, bounding each branch with
+      one [greatest_quorum_within] call: a branch can still yield a
+      quorum iff its committed members survive in the greatest quorum
+      of its remaining pool (exact, because quorums are closed under
+      union).
+
+    Everything downstream — intersection checking, blocking sets,
+    splitting sets, top tier — is built on that streaming enumeration.
+    All outputs are in a canonical deterministic order (ascending
+    cardinality, then {!Pid.Set.compare}), so reports are byte-stable.
+
+    Systems naming negative pids fall back to the brute-force
+    reference paths (guarded to 20 participants), mirroring the
+    {!Quorum.Compiled} and {!Graphkit.Csr} fallback contracts.
+    Equivalence with the brute-force paths at small [n] is
+    property-tested in [test/test_enum.ml]. See DESIGN.md §13. *)
+
+open Graphkit
+
+type t
+(** A prepared analyzer: a compiled system plus search statistics.
+    Minimal quorums are computed once on first demand and cached. *)
+
+type stats = {
+  explored : int;  (** search-tree nodes visited *)
+  pruned : int;  (** branches cut by the viability bound *)
+  found : int;  (** minimal quorums emitted *)
+}
+
+val prepare : ?metrics:Obs.Metrics.t -> Quorum.system -> t
+(** Compiles the system. When [metrics] is given, the search also
+    drives the [fbqs_enum_explored] / [fbqs_enum_pruned] /
+    [fbqs_enum_quorums_found] counters, so analysis runs are traceable
+    like every other subsystem. *)
+
+val system : t -> Quorum.system
+
+val stats : t -> stats
+(** Cumulative counters for this analyzer value. *)
+
+val minimal_quorums : t -> Pid.Set.t list
+(** All inclusion-minimal quorums, in canonical order. Cached. *)
+
+val top_tier : t -> Pid.Set.t
+(** Union of all minimal quorums: the nodes that matter for
+    consensus. *)
+
+type intersection =
+  | Intersects  (** every two quorums share a node (vacuous if none) *)
+  | Disjoint of Pid.Set.t * Pid.Set.t  (** a witness pair *)
+
+val check_intersection : t -> intersection
+(** Decides quorum intersection with early exit: enumeration stops at
+    the first minimal quorum whose complement still contains a quorum
+    (any disjoint pair can be shrunk so that one side is minimal). Two
+    distinct quorum-bearing SCCs short-circuit to [Disjoint] without
+    any search. *)
+
+val quorum_intersection : ?metrics:Obs.Metrics.t -> Quorum.system -> intersection
+(** One-shot [check_intersection] on a freshly prepared system. *)
+
+val quorum_intersection_despite :
+  ?metrics:Obs.Metrics.t -> Quorum.system -> Pid.Set.t -> bool
+(** Intersection of [Quorum.delete sys b] — the scalable engine behind
+    {!Dset.quorum_intersection_despite}. *)
+
+type blocking = {
+  sets : Pid.Set.t list;
+  complete : bool;  (** [false] iff the [limit] cut enumeration short *)
+}
+
+val minimal_blocking_sets : ?limit:int -> t -> blocking
+(** Inclusion-minimal sets whose failure leaves no functioning quorum.
+    Availability is judged on the original system, so these are
+    exactly the minimal hitting sets of the minimal-quorum family,
+    enumerated by branch-and-bound (each set reached once). [limit]
+    caps the number of sets returned (default: unlimited). *)
+
+val minimal_splitting_sets :
+  ?metrics:Obs.Metrics.t ->
+  ?universe:Pid.Set.t ->
+  ?max_size:int ->
+  t ->
+  Pid.Set.t list
+(** Inclusion-minimal sets whose deletion breaks quorum intersection.
+    Deletion is not monotone (deleting everything yields a vacuously
+    intersecting system), so candidates are swept in increasing
+    cardinality over [universe] (default: the top tier) with supersets
+    of found splitting sets skipped — exact for minimality within the
+    universe. Exponential in [|universe|]: [max_size] (default
+    [|universe|]) bounds the sweep for live-scale systems. Returns
+    [[∅]] when intersection already fails with nothing deleted.
+    @raise Invalid_argument when the universe exceeds 62 pids. *)

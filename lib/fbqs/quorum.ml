@@ -163,6 +163,33 @@ module Compiled = struct
 
   let is_quorum_of c i q = Pid.Set.mem i q && is_quorum c q
 
+  let require_dense c who =
+    if c.fallback then
+      invalid_arg
+        (Printf.sprintf
+           "Quorum.Compiled.%s: system has negative pids (no dense form)" who)
+
+  let is_quorum_d c qd =
+    require_dense c "is_quorum_d";
+    c.queries <- c.queries + 1;
+    (not (D.is_empty qd))
+    &&
+    let counts = Array.make (Array.length c.class_sets) (-1) in
+    D.for_all (member_ok c counts qd) qd
+
+  let greatest_quorum_within_d c set =
+    require_dense c "greatest_quorum_within_d";
+    c.queries <- c.queries + 1;
+    let rec go qd =
+      let counts = Array.make (Array.length c.class_sets) (-1) in
+      let keep = D.filter (member_ok c counts qd) qd in
+      if D.equal keep qd then qd else go keep
+    in
+    go set
+
+  let contains_quorum_d c set =
+    not (D.is_empty (greatest_quorum_within_d c set))
+
   let greatest_quorum_within c set =
     (* Discard members with no slice inside the current candidate until
        a fixpoint. Since the union of two quorums is a quorum, the
@@ -238,6 +265,34 @@ let greatest_quorum_within sys set =
 
 let contains_quorum sys set =
   not (Pid.Set.is_empty (greatest_quorum_within sys set))
+
+(* Mazières' delete operation: remove the nodes of [b] from the system
+   and from every remaining slice. Lives here (rather than in {!Dset},
+   which re-exports it) so that the {!Enum} analyzer can delete without
+   depending on the DSet layer it accelerates. *)
+let delete sys b =
+  Pid.Map.filter_map
+    (fun i slices ->
+      if Pid.Set.mem i b then None
+      else
+        Some
+          (match slices with
+          | Slice.Explicit l ->
+              Slice.Explicit (List.map (fun s -> Pid.Set.diff s b) l)
+          | Slice.Threshold { members; threshold } ->
+              (* Deleting [b] from "all t-subsets of members" yields the
+                 set {s \ b}, whose weakest elements are the
+                 (t - |members ∩ b|)-subsets of the survivors; both
+                 has_slice_within and all_slices_intersect depend only
+                 on those, so the result is exactly a threshold slice
+                 over the survivors with the reduced threshold. *)
+              let hit = Pid.Set.cardinal (Pid.Set.inter members b) in
+              Slice.Threshold
+                {
+                  members = Pid.Set.diff members b;
+                  threshold = max 0 (threshold - hit);
+                }))
+    sys
 
 let subsets_fold f universe acc =
   let elts = Array.of_list (Pid.Set.elements universe) in

@@ -61,6 +61,23 @@ module Compiled : sig
   val contains_quorum : t -> Pid.Set.t -> bool
   (** Whether some (non-empty) quorum lies within the set. *)
 
+  (** {3 Dense-bitset variants}
+
+      The same queries, over {!Pid.Dense_set} candidates — no
+      [Pid.Set] conversion on either side. These are the inner-loop
+      entry points of the {!Enum} branch-and-bound analyzer, which
+      evaluates thousands of candidate sets per enumeration.
+
+      @raise Invalid_argument on a system compiled in fallback mode
+      (negative pids have no dense representation; callers are
+      expected to take a [Pid.Set] path there, as {!Enum} does). *)
+
+  val is_quorum_d : t -> Pid.Dense_set.t -> bool
+
+  val greatest_quorum_within_d : t -> Pid.Dense_set.t -> Pid.Dense_set.t
+
+  val contains_quorum_d : t -> Pid.Dense_set.t -> bool
+
   type stats = {
     queries : int;  (** membership evaluations answered so far *)
     popcounts : int;  (** dense intersection-cardinality calls *)
@@ -102,6 +119,14 @@ type cache_stats = { hits : int; misses : int }
 val cache_stats : unit -> cache_stats
 (** Cumulative implicit-cache accounting for this process — scraped
     into the metrics registry by the runners. *)
+
+val delete : system -> Pid.Set.t -> system
+(** Mazières' delete operation: removes the nodes of [b] from the
+    system and from every slice of the remaining nodes (threshold
+    slices keep their symbolic form, with the threshold reduced by the
+    number of deleted members). {!Dset.delete} re-exports this; it
+    lives here so the {!Enum} analyzer can use it without depending on
+    the DSet layer built on top of it. *)
 
 (** {2 Enumeration and blocking sets} *)
 

@@ -1,0 +1,38 @@
+(** Deterministic generators for live-network-shaped slice systems.
+
+    The committed analyzer fixture under [test/fixtures/] is produced
+    by {!stellarbeat_like}; generation uses an embedded linear
+    congruential generator rather than [Random] so the same seed
+    yields the same system on every OCaml version — the provenance
+    test regenerates the fixture and compares it byte-for-byte against
+    the committed file. *)
+
+val stellarbeat_like :
+  ?orgs:int ->
+  ?validators_per_org:int ->
+  ?mid:int ->
+  ?leaves:int ->
+  ?seed:int ->
+  unit ->
+  Quorum.system
+(** A three-tier topology shaped like a stellarbeat snapshot of the
+    live Stellar network.
+
+    - A top tier of [orgs] organisations with [validators_per_org]
+      validators each (pids [0 .. orgs*vpo-1]). Each top validator
+      declares 24 explicit slices, each picking roughly two-thirds of
+      the orgs (always including its own, always including itself) and
+      two validators from each picked org.
+    - [mid] middle-tier nodes, each with 16 slices over about half the
+      orgs plus two mid-tier peers.
+    - [leaves] watcher nodes, each with 12 slices over three orgs plus
+      two mid-tier nodes.
+
+    Every slice of every non-top node names top-tier validators, so
+    minimal quorums — and with them the whole branch-and-bound search
+    of {!Enum} — contract to the top tier, while intersection and
+    blocking analyses still range over all [orgs*vpo + mid + leaves]
+    nodes. Defaults give n = 210 with 3024 explicit slices.
+
+    @raise Invalid_argument on degenerate shapes (fewer than 3 orgs or
+    2 validators per org). *)
