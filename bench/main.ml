@@ -214,7 +214,11 @@ let bench_scp_small_instance =
     (Staged.stage (fun () ->
          let sys = threshold_system 4 3 in
          ignore
-           (Scp.Runner.run ~seed:1 ~system:sys
+           (Scp.Runner.run_cfg
+              ~cfg:
+                (let d = Scp.Runner.default_cfg in
+                 { d with run = { d.run with seed = 1 } })
+              ~system:sys
               ~peers_of:(fun _ -> Pid.Set.of_range 1 4)
               ~initial_value_of:(fun i -> Scp.Value.of_ints [ i ])
               ~fault_of:(fun _ -> None)
@@ -313,7 +317,12 @@ let subject_engine_send_alloc = "engine/send-alloc-baseline x1000"
    win. *)
 let engine_flood ~legacy_alloc () =
   let eng =
-    Simkit.Engine.create ~delay:(Simkit.Delay.synchronous ~delta:1) ()
+    Simkit.Engine.create_cfg
+      {
+        Simkit.Run_config.default with
+        delay = Some (Simkit.Delay.synchronous ~delta:1);
+        max_time = 1_000_000;
+      }
   in
   let legacy_nodes = Hashtbl.create 16 in
   Hashtbl.replace legacy_nodes 1 "sender";

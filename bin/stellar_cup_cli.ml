@@ -22,32 +22,9 @@ open Cmdliner
 
 (* ---- graph selection -------------------------------------------------- *)
 
-type graph_spec = {
-  kind : string;
-  seed : int;
-  sink_size : int;
-  non_sink : int;
-  f : int;
-}
-
-let build_graph spec =
-  match spec.kind with
-  | "fig1" -> Builtin.fig1
-  | "fig2" -> Builtin.fig2
-  | "family" ->
-      Generators.fig2_family ~sink_size:spec.sink_size
-        ~non_sink:spec.non_sink
-  | "random" ->
-      Generators.random_k_osr ~seed:spec.seed ~sink_size:spec.sink_size
-        ~non_sink:spec.non_sink
-        ~k:((2 * spec.f) + 1)
-        ()
-  | other when String.length other > 5 && String.sub other 0 5 = "file:" -> (
-      let path = String.sub other 5 (String.length other - 5) in
-      match Parse.of_file path with
-      | Ok g -> g
-      | Error e -> failwith (Printf.sprintf "cannot read %s: %s" path e))
-  | other -> failwith (Printf.sprintf "unknown graph kind %S" other)
+(* The spec record and builder live in {!Serve.Api} — the daemon's
+   [run] verb selects graphs with the same parameters. *)
+let build_graph = Serve.Api.build_graph
 
 let graph_term =
   let kind =
@@ -79,7 +56,7 @@ let graph_term =
       & info [ "f" ] ~docv:"N" ~doc:"Fault threshold f.")
   in
   let make kind seed sink_size non_sink f =
-    { kind; seed; sink_size; non_sink; f }
+    { Serve.Api.kind; seed; sink_size; non_sink; f }
   in
   Term.(const make $ kind $ seed $ sink_size $ non_sink $ f)
 
@@ -140,7 +117,8 @@ let metrics_term =
 (* A Run_config carrying the CLI's seed/timing flags plus freshly
    created observability sinks. Returns the config and a [finish]
    closure that flushes the trace file and hands back the JSON pieces. *)
-let configure_run spec (gst, delta, max_time) trace_path want_metrics =
+let configure_run (spec : Serve.Api.graph_spec) (gst, delta, max_time)
+    trace_path want_metrics =
   let metrics = if want_metrics then Some (Obs.Metrics.create ()) else None in
   let trace_buf = Option.map (fun _ -> Buffer.create 4096) trace_path in
   let trace = Option.map Obs.Trace.to_buffer trace_buf in
@@ -180,32 +158,15 @@ let configure_run spec (gst, delta, max_time) trace_path want_metrics =
 
 let print_json j = print_endline (Obs.Json.to_string j)
 
+let print_report ~kind payload =
+  print_json (Core.Report.envelope ~kind payload)
+
 (* ---- run --------------------------------------------------------------- *)
 
-let verdict_json (v : Stellar_cup.Pipeline.verdict) =
-  Obs.Json.Obj
-    [
-      ("all_decided", Obs.Json.Bool v.all_decided);
-      ("agreement", Obs.Json.Bool v.agreement);
-      ("validity", Obs.Json.Bool v.validity);
-      ("deciders", Obs.Json.Int v.deciders);
-      ("discovery_msgs", Obs.Json.Int v.discovery_msgs);
-      ("consensus_msgs", Obs.Json.Int v.consensus_msgs);
-      ("total_time", Obs.Json.Int v.total_time);
-    ]
-
-let stack_of_pipeline = function
-  | "scp-local" -> Stellar_cup.Pipeline.Scp_local
-  | "scp-sd" -> Stellar_cup.Pipeline.Scp_sink_detector
-  | "bftcup" -> Stellar_cup.Pipeline.Bftcup
-  | other -> failwith (Printf.sprintf "unknown pipeline %S" other)
-
-let run_consensus spec faulty_ids pipeline timing trace_path want_metrics
-    samples jobs json =
+let run_consensus (spec : Serve.Api.graph_spec) faulty_ids pipeline timing
+    trace_path want_metrics samples jobs json =
   let g = build_graph spec in
   let faulty = Pid.Set.of_list faulty_ids in
-  let initial_value_of i = Scp.Value.of_ints [ i ] in
-  let stack = stack_of_pipeline pipeline in
   if samples > 1 then begin
     (* A seed sweep: [samples] independent instances at seed, seed+1, …
        run through the worker pool. Per-run sinks don't compose with
@@ -213,37 +174,16 @@ let run_consensus spec faulty_ids pipeline timing trace_path want_metrics
        rather than silently dropped. *)
     if trace_path <> None || want_metrics then
       failwith "--trace/--metrics apply to single runs; drop --samples";
+    let stack = Serve.Api.stack_of_pipeline pipeline in
     let cfg, _ = configure_run spec timing None false in
     let verdicts =
       Stellar_cup.Pipeline.sweep ~jobs ~cfg ~stack ~graph:g ~f:spec.f ~faulty
-        ~initial_value_of
+        ~initial_value_of:(fun i -> Scp.Value.of_ints [ i ])
         (List.init samples (fun k -> spec.seed + k))
     in
-    let all_ok =
-      List.for_all
-        (fun (_, (v : Stellar_cup.Pipeline.verdict)) ->
-          v.all_decided && v.agreement && v.validity)
-        verdicts
-    in
     if json then
-      print_json
-        (Obs.Json.Obj
-           [
-             ("pipeline", Obs.Json.String pipeline);
-             ("samples", Obs.Json.Int samples);
-             ("jobs", Obs.Json.Int jobs);
-             ("all_consensus", Obs.Json.Bool all_ok);
-             ( "runs",
-               Obs.Json.List
-                 (List.map
-                    (fun (seed, v) ->
-                      Obs.Json.Obj
-                        [
-                          ("seed", Obs.Json.Int seed);
-                          ("verdict", verdict_json v);
-                        ])
-                    verdicts) );
-           ])
+      print_report ~kind:"sweep"
+        (Serve.Api.sweep_payload ~pipeline ~samples ~jobs verdicts)
     else begin
       List.iter
         (fun (seed, v) ->
@@ -262,25 +202,13 @@ let run_consensus spec faulty_ids pipeline timing trace_path want_metrics
   else begin
     let cfg, finish = configure_run spec timing trace_path want_metrics in
     let verdict =
-      match stack with
-      | Stellar_cup.Pipeline.Scp_local ->
-          Stellar_cup.Pipeline.scp_with_local_slices ~cfg ~graph:g ~f:spec.f
-            ~faulty ~initial_value_of ()
-      | Stellar_cup.Pipeline.Scp_sink_detector ->
-          Stellar_cup.Pipeline.scp_with_sink_detector ~cfg ~graph:g ~f:spec.f
-            ~faulty ~initial_value_of ()
-      | Stellar_cup.Pipeline.Bftcup ->
-          Stellar_cup.Pipeline.bftcup ~cfg ~graph:g ~f:spec.f ~faulty
-            ~initial_value_of ()
+      Serve.Api.run_consensus ~cfg ~pipeline ~graph:g ~f:spec.f ~faulty ()
     in
     let obs_fields, metrics = finish () in
     if json then
-      print_json
-        (Obs.Json.Obj
-           (("pipeline", Obs.Json.String pipeline)
-            :: ("seed", Obs.Json.Int spec.seed)
-            :: ("verdict", verdict_json verdict)
-            :: obs_fields))
+      print_report ~kind:"run"
+        (Serve.Api.run_payload ~pipeline ~seed:spec.seed ~extra:obs_fields
+           verdict)
     else begin
       Format.printf "%s: %a@." pipeline Stellar_cup.Pipeline.pp_verdict
         verdict;
@@ -565,133 +493,43 @@ let load_system path =
   | Ok sys -> sys
   | Error e -> failwith (Printf.sprintf "cannot read %s: %s" path e)
 
-let pid_set_json s =
-  Obs.Json.List (List.map (fun i -> Obs.Json.Int i) (Pid.Set.elements s))
-
-let set_family_json ?(cap = max_int) sets =
-  let count = List.length sets in
-  let sizes = List.map Pid.Set.cardinal sets in
-  let listed = List.filteri (fun i _ -> i < cap) sets in
-  [
-    ("count", Obs.Json.Int count);
-    ( "size_min",
-      match sizes with
-      | [] -> Obs.Json.Null
-      | s -> Obs.Json.Int (List.fold_left min max_int s) );
-    ( "size_max",
-      match sizes with
-      | [] -> Obs.Json.Null
-      | s -> Obs.Json.Int (List.fold_left max 0 s) );
-    ("listed", Obs.Json.Int (List.length listed));
-    ("sets", Obs.Json.List (List.map pid_set_json listed));
-  ]
-
 let fbas_analyze file despite_ids blocking splitting max_size cap want_metrics
     json =
   let sys = load_system file in
-  let metrics = if want_metrics then Some (Obs.Metrics.create ()) else None in
-  let t = Fbqs.Enum.prepare ?metrics sys in
-  let participants = Fbqs.Quorum.participants sys in
-  let minq = Fbqs.Enum.minimal_quorums t in
-  let inter = Fbqs.Enum.check_intersection t in
-  let top = Fbqs.Enum.top_tier t in
-  let blocking_r =
-    if blocking then Some (Fbqs.Enum.minimal_blocking_sets t) else None
+  let opts =
+    {
+      Serve.Api.despite = despite_ids;
+      blocking;
+      splitting;
+      max_size;
+      cap;
+      metrics = want_metrics;
+    }
   in
-  let splitting_r =
-    if splitting then
-      Some (Fbqs.Enum.minimal_splitting_sets ?metrics ?max_size t)
-    else None
-  in
-  let despite =
-    List.map
-      (fun ids ->
-        let b = Pid.Set.of_list ids in
-        (b, Fbqs.Enum.quorum_intersection_despite ?metrics sys b))
-      despite_ids
-  in
-  let stats = Fbqs.Enum.stats t in
-  if json then begin
-    let fields =
-      [
-        ("participants", Obs.Json.Int (Pid.Set.cardinal participants));
-        ("minimal_quorums", Obs.Json.Obj (set_family_json ~cap minq));
-        ("top_tier", pid_set_json top);
-        ( "intersection",
-          match inter with
-          | Fbqs.Enum.Intersects ->
-              Obs.Json.Obj [ ("intersects", Obs.Json.Bool true) ]
-          | Fbqs.Enum.Disjoint (q1, q2) ->
-              Obs.Json.Obj
-                [
-                  ("intersects", Obs.Json.Bool false);
-                  ( "witness",
-                    Obs.Json.List [ pid_set_json q1; pid_set_json q2 ] );
-                ] );
-      ]
-      @ (match blocking_r with
-        | None -> []
-        | Some { Fbqs.Enum.sets; complete } ->
-            [
-              ( "blocking",
-                Obs.Json.Obj
-                  (set_family_json ~cap sets
-                  @ [ ("complete", Obs.Json.Bool complete) ]) );
-            ])
-      @ (match splitting_r with
-        | None -> []
-        | Some sets ->
-            [ ("splitting", Obs.Json.Obj (set_family_json ~cap sets)) ])
-      @ (match despite with
-        | [] -> []
-        | l ->
-            [
-              ( "despite",
-                Obs.Json.List
-                  (List.map
-                     (fun (b, ok) ->
-                       Obs.Json.Obj
-                         [
-                           ("deleted", pid_set_json b);
-                           ("intersects", Obs.Json.Bool ok);
-                         ])
-                     l) );
-            ])
-      @ [
-          ( "stats",
-            Obs.Json.Obj
-              [
-                ("explored", Obs.Json.Int stats.Fbqs.Enum.explored);
-                ("pruned", Obs.Json.Int stats.Fbqs.Enum.pruned);
-                ("found", Obs.Json.Int stats.Fbqs.Enum.found);
-              ] );
-        ]
-      @ Option.to_list
-          (Option.map (fun m -> ("metrics", Obs.Metrics.to_json m)) metrics)
-    in
-    print_json (Obs.Json.Obj fields)
-  end
+  let a = Serve.Api.analyze opts sys in
+  if json then
+    print_report ~kind:"fbas-analysis" (Serve.Api.analysis_payload opts a)
   else begin
-    Format.printf "participants: %d@." (Pid.Set.cardinal participants);
-    (match minq with
+    Format.printf "participants: %d@." (Pid.Set.cardinal a.participants);
+    (match a.minimal_quorums with
     | [] -> Format.printf "minimal quorums: none@."
-    | _ ->
+    | minq ->
         Format.printf "minimal quorums: %d (sizes %d..%d)@."
           (List.length minq)
           (List.fold_left min max_int (List.map Pid.Set.cardinal minq))
           (List.fold_left max 0 (List.map Pid.Set.cardinal minq)));
-    Format.printf "top tier: %a@." Pid.Set.pp top;
-    (match inter with
+    Format.printf "top tier: %a@." Pid.Set.pp a.top_tier;
+    (match a.intersection with
     | Fbqs.Enum.Intersects -> Format.printf "quorum intersection: yes@."
     | Fbqs.Enum.Disjoint (q1, q2) ->
         Format.printf "quorum intersection: NO — disjoint %a / %a@." Pid.Set.pp
           q1 Pid.Set.pp q2);
-    (match blocking_r with
+    (match a.blocking_sets with
     | None -> ()
     | Some { Fbqs.Enum.sets; complete } ->
         Format.printf "minimal blocking sets: %d%s@." (List.length sets)
           (if complete then "" else " (truncated)"));
-    (match splitting_r with
+    (match a.splitting_sets with
     | None -> ()
     | Some sets ->
         Format.printf "minimal splitting sets: %d%s@." (List.length sets)
@@ -701,10 +539,11 @@ let fbas_analyze file despite_ids blocking splitting max_size cap want_metrics
     List.iter
       (fun (b, ok) ->
         Format.printf "intersection despite %a: %b@." Pid.Set.pp b ok)
-      despite;
+      a.despite_checks;
     Format.printf "search: explored=%d pruned=%d quorums_found=%d@."
-      stats.Fbqs.Enum.explored stats.Fbqs.Enum.pruned stats.Fbqs.Enum.found;
-    Option.iter (Format.printf "%a@." Obs.Metrics.pp) metrics
+      a.search.Fbqs.Enum.explored a.search.Fbqs.Enum.pruned
+      a.search.Fbqs.Enum.found;
+    Option.iter (Format.printf "%a@." Obs.Metrics.pp) a.registry
   end
 
 let fbas_file_term =
@@ -831,6 +670,50 @@ let fbas_cmd =
     (Cmd.info "fbas" ~doc:"Federated Byzantine quorum-system analysis")
     [ fbas_analyze_cmd; fbas_gen_cmd ]
 
+(* ---- serve ------------------------------------------------------------- *)
+
+let serve stdio socket cache_capacity =
+  let daemon = Serve.Daemon.create ?cache_capacity () in
+  match (stdio, socket) with
+  | true, Some _ -> failwith "--stdio and --socket are mutually exclusive"
+  | true, None | false, None -> Serve.Daemon.serve_stdio daemon
+  | false, Some path ->
+      Format.eprintf "stellar-cup serve: listening on %s@." path;
+      Serve.Daemon.serve_unix daemon ~path
+
+let serve_cmd =
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve requests from stdin to stdout (the default transport; \
+                the form CI pipes a session file through).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix domain socket at $(docv), one client at a \
+                time, until a client sends the shutdown verb.")
+  in
+  let cache_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Capacity of the response cache and the shared \
+                compiled-handle caches (default: \
+                \\$STELLAR_CUP_CACHE_CAPACITY if set, else 64).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the analysis service daemon: newline-delimited JSON \
+             requests (ping, version, analyze, run, stats, shutdown) in, \
+             versioned report envelopes out, with shared compiled-handle \
+             caches across requests")
+    Term.(const serve $ stdio $ socket $ cache_capacity)
+
 (* ---- command wiring ---------------------------------------------------- *)
 
 let () =
@@ -843,4 +726,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ run_cmd; sink_cmd; graph_cmd; experiment_cmd; fbas_cmd ]))
+          [ run_cmd; sink_cmd; graph_cmd; experiment_cmd; fbas_cmd; serve_cmd ]))

@@ -43,7 +43,14 @@ let () =
         sink_side a <> sink_side b)
   in
   let outcome =
-    Scp.Runner.run ~delay ~max_time:120_000 ~system:local
+    (let d = Scp.Runner.default_cfg in
+     Scp.Runner.run_cfg
+       ~cfg:
+         {
+           d with
+           run = { d.run with delay = Some delay; max_time = 120_000 };
+         })
+      ~system:local
       ~peers_of:(fun i -> Cup.Participant_detector.query pd i)
       ~initial_value_of:(fun i ->
         Scp.Value.of_ints [ (if sink_side i then 100 else 200) ])

@@ -25,7 +25,9 @@ let () =
     if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
   in
   let discovery =
-    Cup.Sink_protocol.run ~seed ~graph:g ~f ~fault_of:fault_of_disc ()
+    Cup.Sink_protocol.run_cfg
+      ~cfg:{ Cup.Sink_protocol.default_run_config with seed }
+      ~graph:g ~f ~fault_of:fault_of_disc ()
   in
   Format.printf "sink detector: %d messages, %d ticks@."
     discovery.stats.messages_sent discovery.stats.end_time;

@@ -46,7 +46,7 @@ let () =
 
   section "4. Live SCP run (process 8 is Byzantine and stays silent)";
   let outcome =
-    Scp.Runner.run ~system
+    Scp.Runner.run_cfg ~cfg:Scp.Runner.default_cfg ~system
       ~peers_of:(fun i -> Digraph.succs g i)
       ~initial_value_of:(fun i -> Scp.Value.of_ints [ 100 + i ])
       ~fault_of:(fun i -> if i = 8 then Some Scp.Runner.Silent else None)

@@ -90,7 +90,7 @@ let () =
   Format.printf "@.--- Live consensus with org 3 silent ---@.";
   let faulty = Pid.Set.of_list (members_of_org 3) in
   let outcome =
-    Scp.Runner.run ~system
+    Scp.Runner.run_cfg ~cfg:Scp.Runner.default_cfg ~system
       ~peers_of:(fun _ -> all)
       ~initial_value_of:(fun i -> Scp.Value.of_ints [ 1000 + i ])
       ~fault_of:(fun i ->

@@ -52,11 +52,21 @@ let run ?(seed = 0) ?(gst = 50) ?(delta = 5) ?(max_time = 200_000)
   in
   (* Stage 1: knowledge acquisition. *)
   let discovery =
-    Cup.Sink_protocol.run ~seed ~gst ~delta ~max_time ~graph ~f ~fault_of ()
+    Cup.Sink_protocol.run_cfg
+      ~cfg:{ Run_config.default with seed; gst; delta; max_time }
+      ~graph ~f ~fault_of ()
   in
   (* Stage 2 + 3: consensus among the sink, dissemination outwards. *)
-  let delay = Delay.partial_synchrony ~gst ~delta ~seed:(seed + 1) in
-  let engine = Engine.create ~pp_msg:Pbft.pp_msg ~delay () in
+  let engine =
+    Engine.create_cfg ~pp_msg:Pbft.pp_msg
+      {
+        Run_config.default with
+        seed = seed + 1;
+        gst;
+        delta;
+        max_time = 1_000_000;
+      }
+  in
   let decisions = ref Pid.Map.empty in
   let correct = Pid.Set.diff (Digraph.vertices graph) faulty in
   let expected =

@@ -355,7 +355,11 @@ let e6_sink_detector ?(seed = 4) ?(samples = 3) ?(jobs = 1) () =
     let fault_of i =
       if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
     in
-    let r = Cup.Sink_protocol.run ~seed:(seed + k) ~graph:g ~f ~fault_of () in
+    let r =
+      Cup.Sink_protocol.run_cfg
+        ~cfg:{ Cup.Sink_protocol.default_run_config with seed = seed + k }
+        ~graph:g ~f ~fault_of ()
+    in
     let correct = Pid.Set.diff (Digraph.vertices g) faulty in
     let accurate =
       Pid.Set.for_all
@@ -671,7 +675,15 @@ let e12_nomination_ablation ?(seed = 12) ?(samples = 2) ?(jobs = 1) () =
                    (Pid.Set.elements members))
             in
             let run nomination =
-              Scp.Runner.run ~seed:(seed + k) ~nomination ~system
+              let d = Scp.Runner.default_cfg in
+              Scp.Runner.run_cfg
+                ~cfg:
+                  {
+                    d with
+                    run = { d.run with seed = seed + k };
+                    nomination;
+                  }
+                ~system
                 ~peers_of:(fun _ -> members)
                 ~initial_value_of:own_value
                 ~fault_of:(fun _ -> None)

@@ -1,0 +1,168 @@
+(* Keyed LRU with uniform stats. The entry list is short (handle caches
+   hold tens of entries, not thousands), so a plain list with promote-
+   on-hit is both the simplest and the fastest structure: one traversal
+   per lookup, no hashing of possibly-large keys (the handle caches key
+   by physical equality of whole systems/graphs). *)
+
+type observer = {
+  o_hits : Obs.Metrics.counter;
+  o_misses : Obs.Metrics.counter;
+  o_evictions : Obs.Metrics.counter;
+  o_entries : Obs.Metrics.gauge;
+}
+
+type ('k, 'v) t = {
+  cname : string;
+  equal : 'k -> 'k -> bool;
+  mutable cap : int;
+  mutable entries : ('k * 'v) list;  (* most recently used first *)
+  mutable len : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable observers : (Obs.Metrics.t * observer) list;
+}
+
+let create ?(equal = ( == )) ~name ~capacity () =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Core.Cache.create %s: capacity < 1" name);
+  {
+    cname = name;
+    equal;
+    cap = capacity;
+    entries = [];
+    len = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    observers = [];
+  }
+
+let name t = t.cname
+let capacity t = t.cap
+let length t = t.len
+let to_list t = t.entries
+
+let each_observer t f = List.iter (fun (_, o) -> f o) t.observers
+
+let note_hit t =
+  t.hits <- t.hits + 1;
+  each_observer t (fun o -> Obs.Metrics.incr o.o_hits)
+
+let note_miss t =
+  t.misses <- t.misses + 1;
+  each_observer t (fun o -> Obs.Metrics.incr o.o_misses)
+
+let note_len t =
+  each_observer t (fun o -> Obs.Metrics.set_gauge o.o_entries t.len)
+
+let note_evictions t n =
+  if n > 0 then begin
+    t.evictions <- t.evictions + n;
+    each_observer t (fun o -> Obs.Metrics.incr ~by:n o.o_evictions)
+  end
+
+(* Keep the first [n] entries, reporting how many were dropped. *)
+let rec take n dropped = function
+  | [] -> ([], dropped)
+  | rest when n = 0 -> ([], dropped + List.length rest)
+  | x :: tl ->
+      let kept, dropped = take (n - 1) dropped tl in
+      (x :: kept, dropped)
+
+let set_capacity t capacity =
+  if capacity < 1 then
+    invalid_arg
+      (Printf.sprintf "Core.Cache.set_capacity %s: capacity < 1" t.cname);
+  t.cap <- capacity;
+  if t.len > capacity then begin
+    let kept, dropped = take capacity 0 t.entries in
+    t.entries <- kept;
+    t.len <- capacity;
+    note_evictions t dropped;
+    note_len t
+  end
+
+let find_opt t k =
+  let rec pull acc = function
+    | [] -> None
+    | ((k', _) as e) :: tl when t.equal k' k ->
+        t.entries <- e :: List.rev_append acc tl;
+        Some (snd e)
+    | e :: tl -> pull (e :: acc) tl
+  in
+  match pull [] t.entries with
+  | Some v ->
+      note_hit t;
+      Some v
+  | None ->
+      note_miss t;
+      None
+
+let add t k v =
+  if t.len >= t.cap then begin
+    let kept, dropped = take (t.cap - 1) 0 t.entries in
+    t.entries <- kept;
+    t.len <- t.cap - 1;
+    note_evictions t dropped
+  end;
+  t.entries <- (k, v) :: t.entries;
+  t.len <- t.len + 1;
+  note_len t
+
+let find_or_add t k compute =
+  match find_opt t k with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      add t k v;
+      v
+
+(* Declared after the mutators so the immutable stats fields do not
+   shadow the cache record's mutable counters of the same name. *)
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+let stats (c : _ t) =
+  {
+    hits = c.hits;
+    misses = c.misses;
+    evictions = c.evictions;
+    length = c.len;
+    capacity = c.cap;
+  }
+
+let stats_to_json s =
+  Obs.Json.Obj
+    [
+      ("hits", Obs.Json.Int s.hits);
+      ("misses", Obs.Json.Int s.misses);
+      ("evictions", Obs.Json.Int s.evictions);
+      ("length", Obs.Json.Int s.length);
+      ("capacity", Obs.Json.Int s.capacity);
+    ]
+
+let attach_metrics t registry =
+  if not (List.exists (fun (r, _) -> r == registry) t.observers) then begin
+    let labels = [ ("cache", t.cname) ] in
+    let o =
+      {
+        o_hits = Obs.Metrics.counter registry ~labels "cache_hits";
+        o_misses = Obs.Metrics.counter registry ~labels "cache_misses";
+        o_evictions = Obs.Metrics.counter registry ~labels "cache_evictions";
+        o_entries = Obs.Metrics.gauge registry ~labels "cache_entries";
+      }
+    in
+    (* Seed with the totals accumulated before attachment so the
+       registry always shows lifetime counts. *)
+    if t.hits > 0 then Obs.Metrics.incr ~by:t.hits o.o_hits;
+    if t.misses > 0 then Obs.Metrics.incr ~by:t.misses o.o_misses;
+    if t.evictions > 0 then Obs.Metrics.incr ~by:t.evictions o.o_evictions;
+    Obs.Metrics.set_gauge o.o_entries t.len;
+    t.observers <- (registry, o) :: t.observers
+  end

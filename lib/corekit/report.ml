@@ -1,0 +1,9 @@
+let schema = "stellar-cup/report"
+let version = 1
+
+let envelope ~kind ?(meta = []) payload =
+  Obs.Json.Obj
+    (("schema", Obs.Json.String schema)
+    :: ("version", Obs.Json.Int version)
+    :: ("kind", Obs.Json.String kind)
+    :: (meta @ [ ("payload", payload) ]))

@@ -1,0 +1,29 @@
+(** The unified machine-readable report envelope.
+
+    Every JSON document the toolchain emits for machines — [run
+    --json], [fbas analyze --json], and each analysis-daemon response
+    line — is wrapped in one envelope shape:
+
+    {v
+    {"schema":"stellar-cup/report","version":1,"kind":KIND,
+     ...meta fields..., "payload":PAYLOAD}
+    v}
+
+    [kind] names the payload shape ("run", "sweep", "fbas-analysis",
+    "response", "trace", ...); meta fields are envelope-level routing
+    data (the daemon's request [id], [verb] and [ok] flag); [payload]
+    is the pre-envelope document, byte-for-byte — pre-envelope
+    consumers read [.payload] and see the historical shape (see
+    DESIGN.md §14 for the compatibility contract). Bumping [version]
+    is reserved for changes that break [.payload] compatibility. *)
+
+val schema : string
+(** ["stellar-cup/report"]. *)
+
+val version : int
+(** [1]. *)
+
+val envelope :
+  kind:string -> ?meta:(string * Obs.Json.t) list -> Obs.Json.t -> Obs.Json.t
+(** [envelope ~kind ~meta payload] — fields in the order [schema],
+    [version], [kind], meta fields as given, [payload]. *)

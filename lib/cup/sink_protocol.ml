@@ -246,6 +246,9 @@ let run_cfg ?(cfg = Run_config.default) ?max_copies_per_origin ~graph ~f
   let stats = Engine.run ~stop:all_done engine in
   { answers = !answers; stats }
 
+let default_run_config =
+  { Run_config.default with delta = 10; max_time = 100_000 }
+
 let run ?(seed = 0) ?(gst = 50) ?(delta = 10) ?(max_time = 100_000)
     ?max_copies_per_origin ?metrics ?trace ~graph ~f ~fault_of () =
   let cfg =

@@ -60,7 +60,7 @@ let prepare ?metrics sys =
     Option.map (fun m -> Obs.Metrics.counter m name) metrics
   in
   {
-    compiled = Quorum.compile sys;
+    compiled = Quorum.compiled_of sys;
     sys;
     parts = Quorum.participants sys;
     fallback = has_negative sys;

@@ -223,39 +223,25 @@ end
 
 let compile = Compiled.compile
 
-(* ---- implicit-cache compatibility layer ------------------------------
+(* ---- shared compiled-handle cache ------------------------------------
 
-   Bounded most-recently-compiled cache, keyed by physical equality of
-   the system map. Sized for a simulation's worth of per-node evolving
-   slice views; a miss costs one O(system) compilation, about the price
-   of a single tree-set query. SCP federated voting, whose system grows
-   as envelopes arrive, is the intended client; code holding a stable
-   system should call {!Compiled.compile} once instead. *)
+   Bounded most-recently-used cache over {!Core.Cache}, keyed by
+   physical equality of the system map. Sized for a simulation's worth
+   of per-node evolving slice views; a miss costs one O(system)
+   compilation, about the price of a single tree-set query. SCP
+   federated voting, whose system grows as envelopes arrive, is the
+   intended client; so is the analysis daemon, whose file cache keeps
+   hot systems alive so repeated analyses reuse one handle. Code
+   holding a stable system may call {!Compiled.compile} directly to
+   bypass the cache. *)
 
-type cache_stats = { hits : int; misses : int }
+let cache : (system, compiled) Core.Cache.t =
+  Core.Cache.create ~name:"fbqs_quorum_compiled" ~capacity:64 ()
 
-let cache : compiled list ref = ref []
-let cache_hits = ref 0
-let cache_misses = ref 0
-let cache_capacity = 64
-
-let cache_stats () = { hits = !cache_hits; misses = !cache_misses }
-
-let compiled_of sys =
-  match List.find_opt (fun c -> c.csys == sys) !cache with
-  | Some c ->
-      incr cache_hits;
-      c
-  | None ->
-      incr cache_misses;
-      let c = compile_raw sys in
-      let rec take n = function
-        | [] -> []
-        | _ when n = 0 -> []
-        | x :: tl -> x :: take (n - 1) tl
-      in
-      cache := c :: take (cache_capacity - 1) !cache;
-      c
+let cache_stats () = Core.Cache.stats cache
+let set_cache_capacity n = Core.Cache.set_capacity cache n
+let attach_cache_metrics registry = Core.Cache.attach_metrics cache registry
+let compiled_of sys = Core.Cache.find_or_add cache sys (fun () -> compile_raw sys)
 
 let is_quorum sys q = Compiled.is_quorum (compiled_of sys) q
 let is_quorum_of sys i q = Pid.Set.mem i q && is_quorum sys q

@@ -92,15 +92,24 @@ end
 val compile : system -> Compiled.t
 (** Alias for {!Compiled.compile}. *)
 
-(** {2 Implicit-cache wrappers}
+(** {2 The shared compiled-handle cache}
 
-    Thin compatibility layer over {!Compiled}: each call looks the
-    system up (by physical equality) in a bounded
-    most-recently-compiled cache, compiling on miss.
+    A process-wide {!Core.Cache} instance keyed by physical equality
+    of the system value: {!compiled_of} answers from it, compiling on
+    miss, and the wrappers below route every implicit query through
+    it. Capacity defaults to 64 entries and is daemon-overridable
+    ({!set_cache_capacity}); hit/miss/evict counters can be surfaced
+    in any metrics registry ({!attach_cache_metrics}).
 
     @deprecated New code holding a stable system should use
     {!Compiled.compile} + the [Compiled] queries; these wrappers remain
     for callers whose system value evolves during a run. *)
+
+val compiled_of : system -> Compiled.t
+(** The cache lookup itself: the compiled handle for [sys], reused
+    while the same system value stays hot. The {!Enum} analyzer and
+    the analysis daemon compile through this, so repeated analyses of
+    one system share a handle. *)
 
 val is_quorum : system -> Pid.Set.t -> bool
 (** [Compiled.is_quorum] through the implicit cache. *)
@@ -114,11 +123,20 @@ val greatest_quorum_within : system -> Pid.Set.t -> Pid.Set.t
 val contains_quorum : system -> Pid.Set.t -> bool
 (** [Compiled.contains_quorum] through the implicit cache. *)
 
-type cache_stats = { hits : int; misses : int }
+val cache_stats : unit -> Core.Cache.stats
+(** Cumulative shared-cache accounting for this process — scraped into
+    the metrics registry by the runners, and reported by the daemon's
+    [stats] verb. The same record shape as {!Graphkit.Csr.cache_stats}
+    and every other {!Core.Cache} instance. *)
 
-val cache_stats : unit -> cache_stats
-(** Cumulative implicit-cache accounting for this process — scraped
-    into the metrics registry by the runners. *)
+val set_cache_capacity : int -> unit
+(** Resizes the shared cache (default 64 entries).
+    @raise Invalid_argument below 1. *)
+
+val attach_cache_metrics : Obs.Metrics.t -> unit
+(** Registers the cache's [cache_hits]/[cache_misses]/[cache_evictions]
+    counters and [cache_entries] gauge (labelled
+    [cache="fbqs_quorum_compiled"]) in the registry. *)
 
 val delete : system -> Pid.Set.t -> system
 (** Mazières' delete operation: removes the nodes of [b] from the

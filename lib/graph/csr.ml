@@ -128,36 +128,29 @@ let of_graph g =
 
 (* ---- per-graph memo -------------------------------------------------- *)
 
-(* Bounded most-recently-used cache keyed by physical equality of the
-   graph value, mirroring the quorum kernel's implicit cache. Graphs are
-   immutable, so a hit can never be stale; a hit is promoted to the
-   front so a working set of up to [cache_capacity] graphs (a sweep's
-   base graph plus the sink subgraphs of its k-OSR checks) never
-   thrashes. *)
+(* Bounded most-recently-used {!Core.Cache} keyed by physical equality
+   of the graph value, the same shared cache layer as the quorum
+   kernel's compiled-handle cache. Graphs are immutable, so a hit can
+   never be stale; a hit is promoted to the front so a working set of
+   up to the capacity (a sweep's base graph plus the sink subgraphs of
+   its k-OSR checks) never thrashes. Negative-pid graphs have no dense
+   form: the lookup still counts a miss, but nothing is inserted. *)
 
-let cache : t list ref = ref []
-let cache_capacity = 16
+let cache : (Digraph.t, t) Core.Cache.t =
+  Core.Cache.create ~name:"graphkit_csr" ~capacity:16 ()
+
+let cache_stats () = Core.Cache.stats cache
+let set_cache_capacity n = Core.Cache.set_capacity cache n
+let attach_cache_metrics registry = Core.Cache.attach_metrics cache registry
 
 let get g =
-  let rec pull acc = function
-    | [] -> None
-    | h :: tl when h.graph == g ->
-        cache := h :: List.rev_append acc tl;
-        Some h
-    | h :: tl -> pull (h :: acc) tl
-  in
-  match pull [] !cache with
+  match Core.Cache.find_opt cache g with
   | Some h -> Some h
   | None -> (
       match of_graph g with
       | None -> None
       | Some h ->
-          let rec take n = function
-            | [] -> []
-            | _ when n = 0 -> []
-            | x :: tl -> x :: take (n - 1) tl
-          in
-          cache := h :: take (cache_capacity - 1) !cache;
+          Core.Cache.add cache g h;
           Some h)
 
 (* ---- strongly connected components ----------------------------------- *)

@@ -23,10 +23,25 @@ val of_graph : Digraph.t -> t option
     negative pid. *)
 
 val get : Digraph.t -> t option
-(** Memoized {!of_graph}: a bounded most-recently-used cache keyed by
-    {e physical} equality of the graph value (graphs are immutable, so
-    hits can never be stale). This is the entry point the rewired
-    analyses use. *)
+(** Memoized {!of_graph}: a bounded most-recently-used {!Core.Cache}
+    keyed by {e physical} equality of the graph value (graphs are
+    immutable, so hits can never be stale). This is the entry point the
+    rewired analyses use. Negative-pid graphs count as misses but are
+    never inserted. *)
+
+val cache_stats : unit -> Core.Cache.stats
+(** Cumulative shared-cache accounting for this process — the same
+    record shape as {!Fbqs.Quorum.cache_stats} and every other
+    {!Core.Cache} instance; reported by the daemon's [stats] verb. *)
+
+val set_cache_capacity : int -> unit
+(** Resizes the shared cache (default 16 entries).
+    @raise Invalid_argument below 1. *)
+
+val attach_cache_metrics : Obs.Metrics.t -> unit
+(** Registers the cache's [cache_hits]/[cache_misses]/[cache_evictions]
+    counters and [cache_entries] gauge (labelled [cache="graphkit_csr"])
+    in the registry. *)
 
 val graph : t -> Digraph.t
 

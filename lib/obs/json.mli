@@ -25,3 +25,10 @@ val to_buffer : Buffer.t -> t -> unit
 
 val escape : string -> string
 (** The body of a JSON string literal (quotes not included). *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON document (the analysis daemon's request decoder).
+    Restrictions, both irrelevant to protocol traffic: numbers without
+    a fraction or exponent must fit in an OCaml [int], and [\u] escapes
+    beyond ASCII are preserved as literal escape text rather than
+    decoded. Trailing non-whitespace after the document is an error. *)

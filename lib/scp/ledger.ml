@@ -26,9 +26,24 @@ let run ?(seed = 0) ?gst ?delta ?(max_time_per_slot = 200_000)
   let consistent = ref true in
   let complete = ref true in
   for slot = 0 to slots - 1 do
+    let d = Runner.default_cfg in
+    let cfg =
+      {
+        Runner.run =
+          {
+            d.run with
+            seed = seed + (1000 * slot);
+            gst = Option.value ~default:d.run.gst gst;
+            delta = Option.value ~default:d.run.delta delta;
+            max_time = max_time_per_slot;
+          };
+        ballot_timeout =
+          Option.value ~default:d.ballot_timeout ballot_timeout;
+        nomination = d.nomination;
+      }
+    in
     let outcome =
-      Runner.run ~seed:(seed + (1000 * slot)) ?gst ?delta
-        ~max_time:max_time_per_slot ?ballot_timeout ~system ~peers_of
+      Runner.run_cfg ~cfg ~system ~peers_of
         ~initial_value_of:(tx_pool slot) ~fault_of ()
     in
     total_messages := !total_messages + outcome.stats.messages_sent;

@@ -154,10 +154,10 @@ let run_cfg ?(cfg = default_cfg) ~system ~peers_of ~initial_value_of ~fault_of
   | Some reg ->
       let cache1 = Fbqs.Quorum.cache_stats () in
       Obs.Metrics.incr
-        ~by:(cache1.Fbqs.Quorum.hits - cache0.Fbqs.Quorum.hits)
+        ~by:(cache1.Core.Cache.hits - cache0.Core.Cache.hits)
         (Obs.Metrics.counter reg "fbqs_cache_hits");
       Obs.Metrics.incr
-        ~by:(cache1.Fbqs.Quorum.misses - cache0.Fbqs.Quorum.misses)
+        ~by:(cache1.Core.Cache.misses - cache0.Core.Cache.misses)
         (Obs.Metrics.counter reg "fbqs_cache_misses"));
   trace_event ~time:stats.Engine.end_time "run_end"
     [

@@ -79,8 +79,11 @@ val run :
   fault_of:(Pid.t -> fault option) ->
   unit ->
   outcome
+[@@deprecated "use run_cfg (default_cfg carries the historical defaults)"]
 (** Flat-parameter wrapper over {!run_cfg} preserving the historical
     defaults (seed 0, gst 50, delta 5, max_time 200_000, ballot_timeout
     40, [Echo_all]). [delay] overrides the default partial-synchrony
     model — pass a {!Simkit.Delay.targeted} model to act as a network
-    adversary. *)
+    adversary.
+    @deprecated Use {!run_cfg} with a {!type:cfg} built from
+    {!Simkit.Run_config.t} ({!default_cfg} carries these defaults). *)

@@ -1,0 +1,356 @@
+(* The analysis service daemon.
+
+   One single-threaded request loop reading newline-delimited JSON
+   requests and writing newline-delimited {!Core.Report} envelopes —
+   over stdin/stdout for CI pipelines, or over a Unix domain socket
+   for long-lived local service. Determinism is the contract: the
+   response stream is a pure function of the request stream, except
+   for the [stats] verb, which intentionally reports the accumulated
+   cache counters (warm versus cold runs differ exactly there).
+
+   Three caches cooperate:
+   - the shared compiled-handle caches ({!Fbqs.Quorum.compiled_of},
+     {!Graphkit.Csr.get}) that the engines use internally;
+   - a file cache (path -> parsed system) that keeps hot systems
+     physically alive, so a repeated [analyze] of the same file
+     reuses one compiled handle instead of re-parsing and
+     re-compiling;
+   - a response cache (canonical request, minus id -> payload and
+     trace) that answers byte-identical repeats without re-running
+     the engine.
+
+   Byzantine fault tolerance of the service itself is out of scope:
+   the daemon trusts its local client, exactly like the CLI trusts
+   its arguments. *)
+
+module J = Obs.Json
+
+type cached = {
+  c_verb : string;
+  c_ok : bool;
+  c_payload : J.t;
+  c_trace : J.t list;
+}
+
+type t = {
+  files : (string, Fbqs.Quorum.system) Core.Cache.t;
+  responses : (string, cached) Core.Cache.t;
+  mutable requests : int;
+  mutable stopping : bool;
+}
+
+let default_capacity = 64
+
+let capacity_from_env () =
+  match Sys.getenv_opt "STELLAR_CUP_CACHE_CAPACITY" with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let create ?cache_capacity () =
+  let capacity =
+    match cache_capacity with
+    | Some n -> n
+    | None -> Option.value ~default:default_capacity (capacity_from_env ())
+  in
+  Fbqs.Quorum.set_cache_capacity capacity;
+  Graphkit.Csr.set_cache_capacity (min capacity 16);
+  {
+    files =
+      Core.Cache.create ~equal:String.equal ~name:"serve_files" ~capacity:8
+        ();
+    responses =
+      Core.Cache.create ~equal:String.equal ~name:"serve_responses" ~capacity
+        ();
+    requests = 0;
+    stopping = false;
+  }
+
+(* ---- request decoding ------------------------------------------------- *)
+
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_request s)) fmt
+
+let field fields name = List.assoc_opt name fields
+
+let int_field fields name ~default =
+  match field fields name with
+  | None -> default
+  | Some (J.Int n) -> n
+  | Some _ -> bad "field %S must be an integer" name
+
+let opt_int_field fields name =
+  match field fields name with
+  | None | Some J.Null -> None
+  | Some (J.Int n) -> Some n
+  | Some _ -> bad "field %S must be an integer" name
+
+let bool_field fields name ~default =
+  match field fields name with
+  | None -> default
+  | Some (J.Bool b) -> b
+  | Some _ -> bad "field %S must be a boolean" name
+
+let string_field fields name ~default =
+  match field fields name with
+  | None -> default
+  | Some (J.String s) -> s
+  | Some _ -> bad "field %S must be a string" name
+
+let req_string_field fields name =
+  match field fields name with
+  | Some (J.String s) -> s
+  | Some _ -> bad "field %S must be a string" name
+  | None -> bad "missing required field %S" name
+
+let int_list = function
+  | J.List l ->
+      List.map
+        (function J.Int n -> n | _ -> bad "expected a list of integers")
+        l
+  | _ -> bad "expected a list of integers"
+
+let int_list_field fields name ~default =
+  match field fields name with None -> default | Some j -> int_list j
+
+let int_list_list_field fields name ~default =
+  match field fields name with
+  | None -> default
+  | Some (J.List l) -> List.map int_list l
+  | Some _ -> bad "field %S must be a list of integer lists" name
+
+(* ---- verbs ------------------------------------------------------------ *)
+
+let ping_payload = J.Obj [ ("pong", J.Bool true) ]
+
+let version_payload =
+  J.Obj
+    [
+      ("name", J.String "stellar-cup");
+      ("version", J.String "1.0.0");
+      ("schema", J.String Core.Report.schema);
+      ("report_version", J.Int Core.Report.version);
+      ( "verbs",
+        J.List
+          (List.map
+             (fun v -> J.String v)
+             [ "ping"; "version"; "analyze"; "run"; "stats"; "shutdown" ]) );
+    ]
+
+let stats_payload t =
+  let cache s = Core.Cache.stats_to_json s in
+  J.Obj
+    [
+      ("requests", J.Int t.requests);
+      ( "caches",
+        J.Obj
+          [
+            ("fbqs_quorum_compiled", cache (Fbqs.Quorum.cache_stats ()));
+            ("graphkit_csr", cache (Graphkit.Csr.cache_stats ()));
+            ( Core.Cache.name t.files,
+              cache (Core.Cache.stats t.files) );
+            ( Core.Cache.name t.responses,
+              cache (Core.Cache.stats t.responses) );
+          ] );
+    ]
+
+let load_system t path =
+  Core.Cache.find_or_add t.files path (fun () ->
+      match Fbqs.Fbas_io.of_file path with
+      | Ok sys -> sys
+      | Error e -> bad "cannot read %s: %s" path e)
+
+let analyze_verb t fields =
+  let path = req_string_field fields "file" in
+  let opts =
+    {
+      Api.despite = int_list_list_field fields "despite" ~default:[];
+      blocking = bool_field fields "blocking" ~default:false;
+      splitting = bool_field fields "splitting" ~default:false;
+      max_size = opt_int_field fields "max_size";
+      cap = int_field fields "cap" ~default:64;
+      metrics = bool_field fields "metrics" ~default:false;
+    }
+  in
+  let sys = load_system t path in
+  let payload = Api.analysis_payload opts (Api.analyze opts sys) in
+  (payload, [])
+
+let run_verb fields =
+  let spec =
+    {
+      Api.kind = string_field fields "graph" ~default:"fig2";
+      seed = int_field fields "seed" ~default:1;
+      sink_size = int_field fields "sink_size" ~default:5;
+      non_sink = int_field fields "non_sink" ~default:4;
+      f = int_field fields "f" ~default:1;
+    }
+  in
+  let pipeline = string_field fields "pipeline" ~default:"scp-sd" in
+  let faulty = Graphkit.Pid.Set.of_list (int_list_field fields "faulty" ~default:[]) in
+  let want_metrics = bool_field fields "metrics" ~default:false in
+  let want_trace = bool_field fields "trace" ~default:false in
+  let d = Simkit.Run_config.default in
+  let metrics = if want_metrics then Some (Obs.Metrics.create ()) else None in
+  let trace, recorded =
+    if want_trace then
+      let sink, events = Obs.Trace.recording () in
+      (Some sink, Some events)
+    else (None, None)
+  in
+  let cfg =
+    {
+      Simkit.Run_config.seed = spec.Api.seed;
+      gst = int_field fields "gst" ~default:d.gst;
+      delta = int_field fields "delta" ~default:d.delta;
+      max_time = int_field fields "max_time" ~default:d.max_time;
+      delay = None;
+      metrics;
+      trace;
+    }
+  in
+  let graph = Api.build_graph spec in
+  let verdict =
+    Api.run_consensus ~cfg ~pipeline ~graph ~f:spec.Api.f ~faulty ()
+  in
+  let extra =
+    Option.to_list
+      (Option.map (fun m -> ("metrics", Obs.Metrics.to_json m)) metrics)
+  in
+  let payload =
+    Api.run_payload ~pipeline ~seed:spec.Api.seed ~extra verdict
+  in
+  let trace_events =
+    match recorded with
+    | None -> []
+    | Some events -> List.map Obs.Trace.event_to_json (events ())
+  in
+  (payload, trace_events)
+
+(* ---- envelopes -------------------------------------------------------- *)
+
+let response_envelope ~id ~verb ~ok payload =
+  Core.Report.envelope ~kind:"response"
+    ~meta:[ ("id", id); ("verb", verb); ("ok", J.Bool ok) ]
+    payload
+
+let trace_envelope ~id event =
+  Core.Report.envelope ~kind:"trace" ~meta:[ ("id", id) ] event
+
+let error_lines ~id ~verb msg =
+  [
+    J.to_string
+      (response_envelope ~id ~verb ~ok:false
+         (J.Obj [ ("error", J.String msg) ]));
+  ]
+
+let ok_lines ~id ~verb ~trace payload =
+  List.map (fun e -> J.to_string (trace_envelope ~id e)) trace
+  @ [ J.to_string (response_envelope ~id ~verb:(J.String verb) ~ok:true payload) ]
+
+(* The response-cache key: the request object with its [id] field
+   removed, re-serialized. Field order is preserved, so two requests
+   are "the same" when they are the same bytes modulo id — exactly the
+   replay the determinism gate performs. *)
+let cache_key fields =
+  J.to_string (J.Obj (List.filter (fun (k, _) -> k <> "id") fields))
+
+let dispatch t fields =
+  let id = Option.value ~default:J.Null (field fields "id") in
+  t.requests <- t.requests + 1;
+  match field fields "verb" with
+  | Some (J.String verb) -> (
+      (* Only engine work is cached; failures are not (a missing file
+         is an input condition, not a property of the request), so a
+         fixed request replays byte-identically while the environment
+         holds still — exactly the determinism the serve gate checks. *)
+      let cacheable compute =
+        let key = cache_key fields in
+        let c =
+          match Core.Cache.find_opt t.responses key with
+          | Some c -> c
+          | None ->
+              let payload, trace = compute () in
+              let c =
+                { c_verb = verb; c_ok = true; c_payload = payload;
+                  c_trace = trace }
+              in
+              Core.Cache.add t.responses key c;
+              c
+        in
+        ok_lines ~id ~verb ~trace:c.c_trace c.c_payload
+      in
+      try
+        match verb with
+        | "ping" -> ok_lines ~id ~verb ~trace:[] ping_payload
+        | "version" -> ok_lines ~id ~verb ~trace:[] version_payload
+        | "stats" -> ok_lines ~id ~verb ~trace:[] (stats_payload t)
+        | "shutdown" ->
+            t.stopping <- true;
+            ok_lines ~id ~verb ~trace:[] (J.Obj [ ("stopping", J.Bool true) ])
+        | "analyze" -> cacheable (fun () -> analyze_verb t fields)
+        | "run" -> cacheable (fun () -> run_verb fields)
+        | other ->
+            error_lines ~id ~verb:(J.String other)
+              (Printf.sprintf "unknown verb %S" other)
+      with Bad_request msg | Failure msg | Sys_error msg ->
+        error_lines ~id ~verb:(J.String verb) msg)
+  | Some _ -> error_lines ~id ~verb:J.Null "field \"verb\" must be a string"
+  | None -> error_lines ~id ~verb:J.Null "missing required field \"verb\""
+
+let handle_line t line =
+  if String.trim line = "" then []
+  else
+    match J.of_string line with
+    | Error e ->
+        t.requests <- t.requests + 1;
+        error_lines ~id:J.Null ~verb:J.Null ("parse error: " ^ e)
+    | Ok (J.Obj fields) -> dispatch t fields
+    | Ok _ ->
+        t.requests <- t.requests + 1;
+        error_lines ~id:J.Null ~verb:J.Null "request must be a JSON object"
+
+let stopping t = t.stopping
+
+(* ---- transports ------------------------------------------------------- *)
+
+let serve_channels t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          (handle_line t line);
+        flush oc;
+        if not t.stopping then loop ()
+  in
+  loop ()
+
+let serve_stdio t = serve_channels t stdin stdout
+
+let serve_unix t ~path =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 1;
+  let rec accept_loop () =
+    if not t.stopping then begin
+      let client, _ = Unix.accept sock in
+      let ic = Unix.in_channel_of_descr client in
+      let oc = Unix.out_channel_of_descr client in
+      (* One client at a time: the daemon is single-threaded by
+         design, so concurrent clients would interleave and break the
+         deterministic request->response stream property. *)
+      (try serve_channels t ic oc with Sys_error _ -> ());
+      (try Unix.close client with Unix.Unix_error _ -> ());
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      if Sys.file_exists path then Sys.remove path)
+    accept_loop

@@ -1,0 +1,48 @@
+(** The analysis service daemon: a single-threaded, deterministic
+    request loop over newline-delimited JSON.
+
+    Requests are JSON objects [{"id": .., "verb": .., ...params}]; each
+    produces zero or more ["trace"] envelope lines followed by exactly
+    one ["response"] envelope line (a {!Core.Report} envelope whose
+    meta carries the echoed [id], the [verb] and an [ok] flag). Verbs:
+    [ping], [version], [analyze] (the {!Serve.Api.analyze} surface over
+    a slice-system file), [run] (one consensus run), [stats] (cache
+    and request counters) and [shutdown].
+
+    The response stream is a pure function of the request stream —
+    byte-identical requests yield byte-identical responses, served
+    from a response cache on repeats — with the single intended
+    exception of [stats], whose counters reflect accumulated state
+    (that is what it is for). See DESIGN.md §14 for the protocol. *)
+
+type t
+(** One daemon instance: its file and response caches plus the
+    request counter. *)
+
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] (default: [STELLAR_CUP_CACHE_CAPACITY] if set,
+    else 64) sizes the response cache and resizes the process-wide
+    compiled-handle caches ({!Fbqs.Quorum.set_cache_capacity}, and
+    {!Graphkit.Csr.set_cache_capacity} clamped to its default 16).
+    @raise Invalid_argument below 1. *)
+
+val handle_line : t -> string -> string list
+(** Handles one request line, returning the output lines (each a
+    serialized envelope, no trailing newline). Blank lines yield no
+    output; malformed JSON or a bad request yields one error
+    response. Never raises on bad input. *)
+
+val stopping : t -> bool
+(** Set once a [shutdown] request has been handled. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Reads requests until EOF or [shutdown], writing and flushing the
+    response lines per request. *)
+
+val serve_stdio : t -> unit
+(** {!serve_channels} over stdin/stdout — the CI transport. *)
+
+val serve_unix : t -> path:string -> unit
+(** Listens on a Unix domain socket at [path] (an existing file there
+    is replaced), serving one client at a time until a client sends
+    [shutdown]. The socket file is removed on exit. *)

@@ -71,12 +71,15 @@ val create :
   delay:Delay.t ->
   unit ->
   'm t
+[@@deprecated "use create_cfg with a Run_config.t"]
 (** [pp_msg] enables human-readable traces through [Logs] at debug
     level and, when a trace sink is attached, a rendered ["msg"] field
     on send/deliver events; [classify] enables per-message-class
     traffic accounting in {!type:stats}. [metrics] and [trace] attach
     the observability sinks; [max_time] sets the default time budget
-    {!run} uses when not overridden (default [1_000_000]). *)
+    {!run} uses when not overridden (default [1_000_000]).
+    @deprecated Use {!create_cfg}: the delay model, observability
+    sinks and time budget all travel in one {!Run_config.t}. *)
 
 val create_cfg :
   ?pp_msg:(Format.formatter -> 'm -> unit) ->

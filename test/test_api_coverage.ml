@@ -53,7 +53,7 @@ let test_condensation_dag () =
 
 let test_engine_accessors () =
   let delay = Simkit.Delay.synchronous ~delta:1 in
-  let engine = Simkit.Engine.create ~delay () in
+  let engine = Simkit.Engine.create_cfg { Simkit.Run_config.default with delay = Some delay; max_time = 1_000_000 } in
   Alcotest.(check int) "fresh clock" 0 (Simkit.Engine.now_of engine);
   let stats = Simkit.Engine.stats_of engine in
   Alcotest.(check int) "nothing sent yet" 0 stats.messages_sent

@@ -4,7 +4,7 @@ type msg = Ping of int | Pong of int
 
 let test_ping_pong () =
   let delay = Delay.synchronous ~delta:1 in
-  let engine = Engine.create ~delay () in
+  let engine = Engine.create_cfg { Run_config.default with delay = Some delay; max_time = 1_000_000 } in
   let pongs = ref [] in
   let pinger : msg Engine.behavior =
     {
@@ -35,7 +35,7 @@ let test_ping_pong () =
 
 let test_timer () =
   let delay = Delay.synchronous ~delta:1 in
-  let engine = Engine.create ~delay () in
+  let engine = Engine.create_cfg { Run_config.default with delay = Some delay; max_time = 1_000_000 } in
   let fired = ref [] in
   let node : unit Engine.behavior =
     {
@@ -57,7 +57,7 @@ let test_timer () =
 
 let test_send_to_unknown_is_dropped () =
   let delay = Delay.synchronous ~delta:1 in
-  let engine = Engine.create ~delay () in
+  let engine = Engine.create_cfg { Run_config.default with delay = Some delay; max_time = 1_000_000 } in
   let node : unit Engine.behavior =
     {
       Engine.idle_behavior with
@@ -73,7 +73,7 @@ let test_partial_synchrony_bound () =
   (* Every message sent before GST must arrive by GST + delta. *)
   let gst = 40 and delta = 5 in
   let delay = Delay.partial_synchrony ~gst ~delta ~seed:7 in
-  let engine = Engine.create ~delay () in
+  let engine = Engine.create_cfg { Run_config.default with delay = Some delay; max_time = 1_000_000 } in
   let deliveries = ref [] in
   let sender : int Engine.behavior =
     {
@@ -105,7 +105,7 @@ let test_partial_synchrony_bound () =
 let test_determinism () =
   let run_once () =
     let delay = Delay.partial_synchrony ~gst:20 ~delta:3 ~seed:11 in
-    let engine = Engine.create ~delay () in
+    let engine = Engine.create_cfg { Run_config.default with delay = Some delay; max_time = 1_000_000 } in
     let log = ref [] in
     let chatter self peer : int Engine.behavior =
       {
@@ -130,7 +130,7 @@ let test_determinism () =
 
 let test_stop_predicate () =
   let delay = Delay.synchronous ~delta:1 in
-  let engine = Engine.create ~delay () in
+  let engine = Engine.create_cfg { Run_config.default with delay = Some delay; max_time = 1_000_000 } in
   let count = ref 0 in
   let looper : unit Engine.behavior =
     {

@@ -5,7 +5,7 @@ type msg = Ping | Pong
 let test_class_accounting () =
   let delay = Delay.synchronous ~delta:1 in
   let classify = function Ping -> "ping" | Pong -> "pong" in
-  let engine = Engine.create ~classify ~delay () in
+  let engine = Engine.create_cfg ~classify { Run_config.default with delay = Some delay; max_time = 1_000_000 } in
   let pinger : msg Engine.behavior =
     {
       Engine.idle_behavior with
@@ -35,7 +35,7 @@ let test_class_accounting () =
 
 let test_no_classifier () =
   let delay = Delay.synchronous ~delta:1 in
-  let engine = Engine.create ~delay () in
+  let engine = Engine.create_cfg { Run_config.default with delay = Some delay; max_time = 1_000_000 } in
   Engine.add_node engine 1
     {
       Engine.idle_behavior with

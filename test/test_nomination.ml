@@ -10,8 +10,15 @@ let threshold_system n t =
        (fun i -> (i, Fbqs.Slice.threshold ~members ~threshold:t))
        (Pid.Set.elements members))
 
+let run_nominating ?(seed = 0) ~nomination ~system ~peers_of
+    ~initial_value_of ~fault_of () =
+  let d = Runner.default_cfg in
+  Runner.run_cfg
+    ~cfg:{ d with run = { d.run with seed }; nomination }
+    ~system ~peers_of ~initial_value_of ~fault_of ()
+
 let run ?(n = 4) ?(t = 3) ?(seed = 0) ~nomination ~fault_of () =
-  Runner.run ~seed ~nomination
+  run_nominating ~seed ~nomination
     ~system:(threshold_system n t)
     ~peers_of:(fun _ -> Pid.Set.of_range 1 n)
     ~initial_value_of:(fun i -> v [ i ])
@@ -80,7 +87,7 @@ let test_algorithm2_slices_with_leaders () =
   let system = Cup.Slice_builder.system_via_oracle ~f Builtin.fig2 in
   let peers_of i = Fbqs.Slice.domain (Fbqs.Quorum.slices_of system i) in
   let o =
-    Runner.run ~nomination:(Node.Leader_priority 30) ~system ~peers_of
+    run_nominating ~nomination:(Node.Leader_priority 30) ~system ~peers_of
       ~initial_value_of:(fun i -> v [ i ])
       ~fault_of:(fun i -> if i = 4 then Some Runner.Silent else None)
       ()

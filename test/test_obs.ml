@@ -116,7 +116,7 @@ let test_engine_counters_match_stats () =
   let metrics = Obs.Metrics.create () in
   let sink, events = Obs.Trace.recording () in
   let delay = Simkit.Delay.partial_synchrony ~gst:0 ~delta:4 ~seed:11 in
-  let engine = Simkit.Engine.create ~metrics ~trace:sink ~delay () in
+  let engine = Simkit.Engine.create_cfg { Simkit.Run_config.default with metrics = Some metrics; trace = Some sink; delay = Some delay; max_time = 1_000_000 } in
   Simkit.Engine.add_node engine 1 echo;
   Simkit.Engine.add_node engine 2 reply;
   let stats = Simkit.Engine.run engine in
@@ -139,7 +139,7 @@ let test_engine_counters_match_stats () =
 let test_engine_drop_accounting () =
   let metrics = Obs.Metrics.create () in
   let delay = Simkit.Delay.synchronous ~delta:1 in
-  let engine = Simkit.Engine.create ~metrics ~delay () in
+  let engine = Simkit.Engine.create_cfg { Simkit.Run_config.default with metrics = Some metrics; delay = Some delay; max_time = 1_000_000 } in
   (* Node 1 fires at an unregistered destination. *)
   Simkit.Engine.add_node engine 1
     {

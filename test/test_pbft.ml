@@ -21,7 +21,7 @@ let test_leader_rotation () =
 let run_pbft ?(seed = 0) ?(n = 4) ?(f = 1) ~silent () =
   let members = Pid.Set.of_range 1 n in
   let delay = Delay.partial_synchrony ~gst:30 ~delta:4 ~seed in
-  let engine = Engine.create ~pp_msg:Pbft.pp_msg ~delay () in
+  let engine = Engine.create_cfg ~pp_msg:Pbft.pp_msg { Run_config.default with delay = Some delay; max_time = 1_000_000 } in
   let decisions = ref Pid.Map.empty in
   Pid.Set.iter
     (fun i ->

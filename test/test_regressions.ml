@@ -14,7 +14,11 @@ let test_knowledge_reordering_seed198 () =
   let fault_of i =
     if Pid.Set.mem i faulty then Some Cup.Sink_protocol.Silent else None
   in
-  let r = Cup.Sink_protocol.run ~seed ~graph:g ~f ~fault_of () in
+  let r =
+    Cup.Sink_protocol.run_cfg
+      ~cfg:{ Cup.Sink_protocol.default_run_config with seed }
+      ~graph:g ~f ~fault_of ()
+  in
   Pid.Set.iter
     (fun i ->
       if not (Pid.Set.mem i faulty) then

@@ -14,6 +14,18 @@ let v = Value.of_ints
 
 let fuzz_delay ~seed ~n = Simkit.Delay.random_partition ~gst:30_000 ~delta:5 ~seed ~n
 
+(* All fuzz runs share the historical flat-entry-point defaults with a
+   100k-tick horizon and a fuzzed delay model. *)
+let run_fuzz ~seed ~delay ~system ~peers_of ~initial_value_of ~fault_of () =
+  let d = Runner.default_cfg in
+  Runner.run_cfg
+    ~cfg:
+      {
+        d with
+        run = { d.run with seed; delay = Some delay; max_time = 100_000 };
+      }
+    ~system ~peers_of ~initial_value_of ~fault_of ()
+
 let prop_threshold_system_safe_under_fuzz =
   QCheck.Test.make ~count:20
     ~name:"3-of-4 threshold system: agreement under random partitions"
@@ -27,7 +39,7 @@ let prop_threshold_system_safe_under_fuzz =
              (Pid.Set.elements members))
       in
       let o =
-        Runner.run ~seed ~max_time:100_000
+        run_fuzz ~seed
           ~delay:(fuzz_delay ~seed ~n:5)
           ~system
           ~peers_of:(fun _ -> members)
@@ -47,7 +59,7 @@ let prop_algorithm2_fig2_safe_under_fuzz =
       let system = Cup.Slice_builder.system_via_oracle ~f:1 Builtin.fig2 in
       let peers_of i = Fbqs.Slice.domain (Fbqs.Quorum.slices_of system i) in
       let o =
-        Runner.run ~seed ~max_time:100_000
+        run_fuzz ~seed
           ~delay:(fuzz_delay ~seed ~n:8)
           ~system ~peers_of
           ~initial_value_of:(fun i -> v [ i ])
@@ -68,7 +80,7 @@ let test_local_slices_violated_by_some_schedule () =
   for seed = 0 to 19 do
     if not !violated then begin
       let o =
-        Runner.run ~seed ~max_time:100_000
+        run_fuzz ~seed
           ~delay:(fuzz_delay ~seed ~n:7)
           ~system
           ~peers_of:(fun i -> Cup.Participant_detector.query pd i)

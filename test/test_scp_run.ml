@@ -16,6 +16,16 @@ let own_value i = v [ i ]
 
 let no_faults _ = None
 
+(* The flat [Runner.run] wrapper's historical defaults, through the
+   Run_config-based entry point. *)
+let run ?(seed = 0) ?delay ?max_time ~system ~peers_of ~initial_value_of
+    ~fault_of () =
+  let d = Runner.default_cfg in
+  let max_time = Option.value ~default:d.run.max_time max_time in
+  Runner.run_cfg
+    ~cfg:{ d with run = { d.run with seed; delay; max_time } }
+    ~system ~peers_of ~initial_value_of ~fault_of ()
+
 let check_consensus ?(expect_decided = true) name (o : Runner.outcome) =
   Alcotest.(check bool) (name ^ ": all decided") expect_decided o.all_decided;
   Alcotest.(check bool) (name ^ ": agreement") true o.agreement;
@@ -23,7 +33,7 @@ let check_consensus ?(expect_decided = true) name (o : Runner.outcome) =
 
 let test_four_nodes_fault_free () =
   let o =
-    Runner.run
+    run
       ~system:(threshold_system 4 3)
       ~peers_of:(all_peers 4) ~initial_value_of:own_value ~fault_of:no_faults
       ()
@@ -33,7 +43,7 @@ let test_four_nodes_fault_free () =
 let test_four_nodes_one_silent () =
   let fault_of i = if i = 4 then Some Runner.Silent else None in
   let o =
-    Runner.run
+    run
       ~system:(threshold_system 4 3)
       ~peers_of:(all_peers 4) ~initial_value_of:own_value ~fault_of ()
   in
@@ -43,7 +53,7 @@ let test_four_nodes_one_silent () =
 let test_seven_nodes_two_silent () =
   let fault_of i = if i <= 2 then Some Runner.Silent else None in
   let o =
-    Runner.run
+    run
       ~system:(threshold_system 7 5)
       ~peers_of:(all_peers 7) ~initial_value_of:own_value ~fault_of ()
   in
@@ -64,7 +74,7 @@ let test_fig1_explicit_slices () =
   let peers_of i = Digraph.succs Builtin.fig1 i in
   let fault_of i = if i = 8 then Some Runner.Silent else None in
   let o =
-    Runner.run ~system ~peers_of ~initial_value_of:own_value ~fault_of ()
+    run ~system ~peers_of ~initial_value_of:own_value ~fault_of ()
   in
   check_consensus "fig1" o;
   Alcotest.(check int) "seven deciders" 7 (Pid.Map.cardinal o.decisions)
@@ -79,7 +89,7 @@ let test_fig2_algorithm2_slices () =
     (fun faulty ->
       let fault_of i = if i = faulty then Some Runner.Silent else None in
       let o =
-        Runner.run ~system ~peers_of ~initial_value_of:own_value ~fault_of ()
+        run ~system ~peers_of ~initial_value_of:own_value ~fault_of ()
       in
       check_consensus (Printf.sprintf "fig2 faulty=%d" faulty) o)
     [ 4; 6 ]
@@ -100,7 +110,7 @@ let test_disjoint_quorums_violate_agreement () =
   in
   let initial_value_of i = if sink_side i then v [ 100 ] else v [ 200 ] in
   let o =
-    Runner.run ~delay ~max_time:120_000 ~system ~peers_of ~initial_value_of
+    run ~delay ~max_time:120_000 ~system ~peers_of ~initial_value_of
       ~fault_of:no_faults ()
   in
   Alcotest.(check bool) "everyone decided" true o.all_decided;
@@ -117,7 +127,7 @@ let test_same_slices_friendly_network_live () =
   let peers_of i = Cup.Participant_detector.query pd i in
   let delay = Simkit.Delay.synchronous ~delta:2 in
   let o =
-    Runner.run ~delay ~system ~peers_of ~initial_value_of:own_value
+    run ~delay ~system ~peers_of ~initial_value_of:own_value
       ~fault_of:no_faults ()
   in
   Alcotest.(check bool) "friendly network: all decided" true o.all_decided;
@@ -132,7 +142,7 @@ let test_accept_forger_ignored () =
     else None
   in
   let o =
-    Runner.run ~system ~peers_of:(all_peers 4) ~initial_value_of:own_value
+    run ~system ~peers_of:(all_peers 4) ~initial_value_of:own_value
       ~fault_of ()
   in
   check_consensus "forged accepts" o;
@@ -156,14 +166,14 @@ let test_nomination_equivocator_safe () =
     else None
   in
   let o =
-    Runner.run ~system ~peers_of:(all_peers 5) ~initial_value_of:own_value
+    run ~system ~peers_of:(all_peers 5) ~initial_value_of:own_value
       ~fault_of ()
   in
   check_consensus "nomination equivocation" o
 
 let test_deterministic () =
   let run () =
-    Runner.run ~seed:3
+    run ~seed:3
       ~system:(threshold_system 4 3)
       ~peers_of:(all_peers 4) ~initial_value_of:own_value ~fault_of:no_faults
       ()
@@ -192,7 +202,7 @@ let prop_random_byzantine_safe_graphs_consensus =
         if Pid.Set.mem i faulty then Some Runner.Silent else None
       in
       let o =
-        Runner.run ~seed ~system ~peers_of ~initial_value_of:own_value
+        run ~seed ~system ~peers_of ~initial_value_of:own_value
           ~fault_of ()
       in
       o.all_decided && o.agreement && o.validity)

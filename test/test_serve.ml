@@ -1,0 +1,148 @@
+(* The analysis daemon: protocol shape, determinism and the shared
+   response cache (DESIGN.md §14).
+
+   These tests drive [Serve.Daemon.handle_line] in-process. The
+   compiled-handle caches ([Fbqs.Quorum], [Graphkit.Csr]) are
+   process-wide and shared with every other suite, so nothing here
+   asserts their absolute counters — only the daemon-local caches and
+   the response bytes, which are independent of cache warmth. *)
+
+let fixture = "fixtures/live_network.fbas"
+
+let req id verb extra =
+  Printf.sprintf {|{"id": %d, "verb": %S%s}|} id verb
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf ", %S: %s" k v) extra))
+
+let analyze id = req id "analyze" [ ("file", Printf.sprintf "%S" fixture) ]
+
+(* ping, version, then the same analysis twice under different ids —
+   the second analyze must come out of the response cache. *)
+let session = [ req 1 "ping" []; req 2 "version" []; analyze 3; analyze 4 ]
+
+let run_session d lines = List.concat_map (Serve.Daemon.handle_line d) lines
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* Replace the digits after every ["id":] with [_], so responses can be
+   compared modulo the echoed request id. *)
+let strip_ids s =
+  let key = {|"id":|} in
+  let klen = String.length key in
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + klen <= n && String.sub s !i klen = key then begin
+      Buffer.add_string b key;
+      Buffer.add_char b '_';
+      i := !i + klen;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let test_blank_line_ignored () =
+  let d = Serve.Daemon.create () in
+  Alcotest.(check (list string)) "no output" [] (Serve.Daemon.handle_line d "");
+  Alcotest.(check (list string)) "whitespace" []
+    (Serve.Daemon.handle_line d "   ")
+
+let test_garbage_is_an_error_response () =
+  let d = Serve.Daemon.create () in
+  match Serve.Daemon.handle_line d "not json at all" with
+  | [ line ] ->
+      Alcotest.(check bool) "not ok" true (contains ~affix:{|"ok":false|} line);
+      Alcotest.(check bool) "an envelope" true
+        (contains ~affix:Core.Report.schema line)
+  | l -> Alcotest.failf "expected exactly one error line, got %d" (List.length l)
+
+let test_unknown_verb_keeps_id () =
+  let d = Serve.Daemon.create () in
+  match Serve.Daemon.handle_line d {|{"id": 9, "verb": "frobnicate"}|} with
+  | [ line ] ->
+      Alcotest.(check bool) "id echoed" true (contains ~affix:{|"id":9|} line);
+      Alcotest.(check bool) "not ok" true (contains ~affix:{|"ok":false|} line)
+  | l -> Alcotest.failf "expected exactly one error line, got %d" (List.length l)
+
+let test_ping () =
+  let d = Serve.Daemon.create () in
+  match Serve.Daemon.handle_line d (req 1 "ping" []) with
+  | [ line ] ->
+      List.iter
+        (fun affix -> Alcotest.(check bool) affix true (contains ~affix line))
+        [ {|"id":1|}; {|"verb":"ping"|}; {|"ok":true|}; {|"pong":true|} ]
+  | l -> Alcotest.failf "expected exactly one line, got %d" (List.length l)
+
+let test_shutdown_stops () =
+  let d = Serve.Daemon.create () in
+  Alcotest.(check bool) "running" false (Serve.Daemon.stopping d);
+  ignore (Serve.Daemon.handle_line d (req 1 "shutdown" []));
+  Alcotest.(check bool) "stopping" true (Serve.Daemon.stopping d)
+
+let test_two_cold_daemons_agree () =
+  (* The response stream is a pure function of the request stream: two
+     fresh daemons serve byte-identical sessions. *)
+  let a = run_session (Serve.Daemon.create ()) session in
+  let b = run_session (Serve.Daemon.create ()) session in
+  Alcotest.(check (list string)) "byte-identical sessions" a b
+
+let test_warm_repeat_identical_and_cached () =
+  (* Replaying the same session against a warm daemon yields the same
+     bytes — repeats are served from the response cache, which the
+     stats verb then confirms: the only verb whose answer depends on
+     accumulated state is [stats] itself. *)
+  let d = Serve.Daemon.create () in
+  let cold = run_session d session in
+  let warm = run_session d session in
+  Alcotest.(check (list string)) "warm replay byte-identical" cold warm;
+  match Serve.Daemon.handle_line d (req 99 "stats" []) with
+  | [ line ] ->
+      (* cold: analyze 3 misses, analyze 4 hits; warm: both hit *)
+      Alcotest.(check bool) "response cache hit on repeats" true
+        (contains ~affix:{|"serve_responses":{"hits":3,"misses":1|} line);
+      (* the file is parsed once; response-cache hits never re-load it *)
+      Alcotest.(check bool) "file parsed once" true
+        (contains ~affix:{|"serve_files":{"hits":0,"misses":1|} line)
+  | l -> Alcotest.failf "expected one stats line, got %d" (List.length l)
+
+let test_repeat_analyze_reuses_payload () =
+  (* Identical analyze requests under different ids: the payloads are
+     byte-identical; only the echoed id differs. *)
+  let d = Serve.Daemon.create () in
+  match
+    (Serve.Daemon.handle_line d (analyze 3), Serve.Daemon.handle_line d (analyze 4))
+  with
+  | [ r3 ], [ r4 ] ->
+      Alcotest.(check bool) "ids differ" true (r3 <> r4);
+      Alcotest.(check string) "same modulo id" (strip_ids r3) (strip_ids r4)
+  | _ -> Alcotest.fail "expected one response line per analyze"
+
+let suites =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "blank lines ignored" `Quick test_blank_line_ignored;
+        Alcotest.test_case "garbage yields an error envelope" `Quick
+          test_garbage_is_an_error_response;
+        Alcotest.test_case "unknown verb keeps the id" `Quick
+          test_unknown_verb_keeps_id;
+        Alcotest.test_case "ping" `Quick test_ping;
+        Alcotest.test_case "shutdown stops the loop" `Quick test_shutdown_stops;
+        Alcotest.test_case "cold daemons byte-identical" `Quick
+          test_two_cold_daemons_agree;
+        Alcotest.test_case "warm replay identical, served from cache" `Quick
+          test_warm_repeat_identical_and_cached;
+        Alcotest.test_case "repeated analyze differs only in id" `Quick
+          test_repeat_analyze_reuses_payload;
+      ] );
+  ]

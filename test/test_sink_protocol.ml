@@ -3,6 +3,13 @@ open Cup
 
 let no_faults _ = None
 
+(* The flat [Sink_protocol.run] wrapper's historical defaults, through
+   the Run_config-based entry point. *)
+let run ?(seed = 0) ~graph ~f ~fault_of () =
+  Sink_protocol.run_cfg
+    ~cfg:{ Sink_protocol.default_run_config with seed }
+    ~graph ~f ~fault_of ()
+
 let check_answers ?(faulty = Pid.Set.empty) ?(f = 1) ~graph ~sink
     (result : Sink_protocol.run_result) =
   let correct = Pid.Set.diff (Digraph.vertices graph) faulty in
@@ -37,13 +44,13 @@ let test_fig1_fault_free () =
      (the paper uses fig1 for the slice examples, not for
      Byzantine-safety). *)
   let result =
-    Sink_protocol.run ~graph:Builtin.fig1 ~f:0 ~fault_of:no_faults ()
+    run ~graph:Builtin.fig1 ~f:0 ~fault_of:no_faults ()
   in
   check_answers ~f:0 ~graph:Builtin.fig1 ~sink:Builtin.fig1_sink result
 
 let test_fig2_fault_free () =
   let result =
-    Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of:no_faults ()
+    run ~graph:Builtin.fig2 ~f:1 ~fault_of:no_faults ()
   in
   check_answers ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
 
@@ -52,7 +59,7 @@ let test_fig2_with_silent_sink_member () =
   let fault_of i =
     if Pid.Set.mem i faulty then Some Sink_protocol.Silent else None
   in
-  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  let result = run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
   check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
 
 let test_fig2_with_silent_non_sink () =
@@ -60,7 +67,7 @@ let test_fig2_with_silent_non_sink () =
   let fault_of i =
     if Pid.Set.mem i faulty then Some Sink_protocol.Silent else None
   in
-  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  let result = run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
   check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
 
 let test_sink_liar_defeated () =
@@ -71,7 +78,7 @@ let test_sink_liar_defeated () =
   let fault_of i =
     if Pid.Set.mem i faulty then Some (Sink_protocol.Sink_liar fake) else None
   in
-  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  let result = run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
   check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
 
 let test_sink_liar_inside_sink_defeated () =
@@ -80,7 +87,7 @@ let test_sink_liar_inside_sink_defeated () =
   let fault_of i =
     if Pid.Set.mem i faulty then Some (Sink_protocol.Sink_liar fake) else None
   in
-  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  let result = run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
   check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result
 
 let test_know_liar_fabrications_filtered () =
@@ -89,7 +96,7 @@ let test_know_liar_fabrications_filtered () =
   let fault_of i =
     if Pid.Set.mem i faulty then Some (Sink_protocol.Know_liar fakes) else None
   in
-  let result = Sink_protocol.run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
+  let result = run ~graph:Builtin.fig2 ~f:1 ~fault_of () in
   check_answers ~faulty ~graph:Builtin.fig2 ~sink:Builtin.fig2_sink result;
   (* No fabricated id ever surfaces in any answer. *)
   Pid.Map.iter
@@ -102,7 +109,7 @@ let test_know_liar_fabrications_filtered () =
 
 let test_matches_pure_oracle () =
   let result =
-    Sink_protocol.run ~graph:Builtin.fig1 ~f:0 ~fault_of:no_faults ()
+    run ~graph:Builtin.fig1 ~f:0 ~fault_of:no_faults ()
   in
   Pid.Map.iter
     (fun i (a : Sink_oracle.answer) ->
@@ -115,7 +122,7 @@ let test_matches_pure_oracle () =
 
 let test_deterministic () =
   let run () =
-    Sink_protocol.run ~seed:9 ~graph:Builtin.fig2 ~f:1 ~fault_of:no_faults ()
+    run ~seed:9 ~graph:Builtin.fig2 ~f:1 ~fault_of:no_faults ()
   in
   let r1 = run () and r2 = run () in
   Alcotest.(check int) "same message count" r1.stats.messages_sent
@@ -131,7 +138,7 @@ let prop_random_graphs_fault_free =
         Generators.random_byzantine_safe ~seed ~f ~sink_size:((3 * f) + 2)
           ~non_sink:3 ()
       in
-      let result = Sink_protocol.run ~seed ~graph:g ~f ~fault_of:no_faults () in
+      let result = run ~seed ~graph:g ~f ~fault_of:no_faults () in
       Pid.Set.for_all
         (fun i ->
           match Pid.Map.find_opt i result.answers with
@@ -155,7 +162,7 @@ let prop_random_graphs_with_silent_fault =
       let fault_of i =
         if Pid.Set.mem i faulty then Some Sink_protocol.Silent else None
       in
-      let result = Sink_protocol.run ~seed ~graph:g ~f ~fault_of () in
+      let result = run ~seed ~graph:g ~f ~fault_of () in
       Pid.Set.for_all
         (fun i ->
           Pid.Set.mem i faulty

@@ -10,12 +10,20 @@ let system n t =
   Fbqs.Quorum.system_of_list
     (List.init n (fun i -> (i + 1, threshold_slices n t)))
 
+(* The flat [Runner.run] wrapper's historical defaults, through the
+   Run_config-based entry point. *)
+let run_scp ?(seed = 0) ~system ~peers_of ~initial_value_of ~fault_of () =
+  let d = Runner.default_cfg in
+  Runner.run_cfg
+    ~cfg:{ d with run = { d.run with seed } }
+    ~system ~peers_of ~initial_value_of ~fault_of ()
+
 let test_slices_learned_from_envelopes () =
   (* Nodes start knowing only their own declaration; consensus requires
      learning everyone else's from the envelopes. If learning were
      broken nothing could ever be confirmed. *)
   let o =
-    Runner.run ~system:(system 4 3)
+    run_scp ~system:(system 4 3)
       ~peers_of:(fun _ -> Pid.Set.of_range 1 4)
       ~initial_value_of:(fun i -> v [ i ])
       ~fault_of:(fun _ -> None)
@@ -52,7 +60,7 @@ let test_slice_equivocator_harmless_to_correct_quorums () =
     else None
   in
   let o =
-    Runner.run ~system
+    run_scp ~system
       ~peers_of:(fun _ -> Pid.Set.of_range 1 5)
       ~initial_value_of:(fun i -> v [ i ])
       ~fault_of ()
@@ -70,7 +78,7 @@ let test_first_declaration_pinned () =
      pin). *)
   let run () =
     let system = system 4 3 in
-    Runner.run ~seed:5 ~system
+    run_scp ~seed:5 ~system
       ~peers_of:(fun _ -> Pid.Set.of_range 1 4)
       ~initial_value_of:(fun i -> v [ i ])
       ~fault_of:(fun _ -> None)
@@ -107,7 +115,7 @@ let prop_equivocator_never_breaks_agreement =
         else None
       in
       let o =
-        Runner.run ~seed ~system
+        run_scp ~seed ~system
           ~peers_of:(fun _ -> Pid.Set.of_range 1 5)
           ~initial_value_of:(fun i -> v [ i ])
           ~fault_of ()
