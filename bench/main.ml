@@ -18,15 +18,18 @@
                                             out of date (CI guard)
      dune exec bench/main.exe -- check-regress [--tolerance R]
                                          -- re-measure the microbenches
-                                            and exit 1 if any committed
-                                            BENCH_quorum.json or
-                                            BENCH_analysis.json subject
+                                            and the sweep sequential
+                                            legs; exit 1 if any
+                                            committed BENCH_quorum.json,
+                                            BENCH_analysis.json or
+                                            BENCH_sweep.json subject
                                             slowed down by more than R
                                             (default 0.5, i.e. +50%)
 
    Every mode accepts a trailing [--jobs N] (default 1; sweep defaults
-   to 4): experiment samples are then farmed out to a Simkit.Pool of N
-   worker processes. The tables are byte-identical for every N.
+   to 4): experiment samples are then farmed out to Simkit.Exec — a
+   pool of N domains on OCaml 5, N forked worker processes otherwise.
+   The tables are byte-identical for every N and on either backend.
 
    One experiment table per paper artifact (figures, algorithms,
    theorems — see DESIGN.md §5), plus Bechamel microbenches for the hot
@@ -184,8 +187,11 @@ let bench_kosr_csr =
   Test.make ~name:subject_kosr_csr (Staged.stage (fun () ->
       ignore (Properties.is_k_osr g 2)))
 
+let subject_event_queue = "event-queue push+pop x1000"
+let subject_event_heap = "event-heap/flat push+pop x1000"
+
 let bench_event_queue =
-  Test.make ~name:"event-queue push+pop x1000" (Staged.stage (fun () ->
+  Test.make ~name:subject_event_queue (Staged.stage (fun () ->
       let q = Simkit.Event_queue.create () in
       for i = 0 to 999 do
         Simkit.Event_queue.push q ~time:(i * 7919 mod 1000) i
@@ -195,6 +201,21 @@ let bench_event_queue =
         | Some _ -> drain ()
         | None -> ()
       in
+      drain ()))
+
+(* The engine's flat structure-of-arrays heap on the same workload as
+   the generic queue above: the gap between the two subjects is the
+   per-event allocation (entry record + payload block) the flat
+   representation eliminates. *)
+let bench_event_heap =
+  Test.make ~name:subject_event_heap (Staged.stage (fun () ->
+      let q = Simkit.Event_heap.create () in
+      for i = 0 to 999 do
+        Simkit.Event_heap.push_deliver q
+          ~time:(i * 7919 mod 1000)
+          ~src:1 ~dst:2 i
+      done;
+      let rec drain () = if Simkit.Event_heap.pop q then drain () in
       drain ()))
 
 let bench_v_blocking =
@@ -407,6 +428,7 @@ let microbenches () =
       bench_kosr_check;
       bench_kosr_csr;
       bench_event_queue;
+      bench_event_heap;
       bench_v_blocking;
       bench_sink_oracle;
       bench_scp_small_instance;
@@ -556,6 +578,7 @@ let write_bench_json all_rows =
         (subject_inter_cardinal_dense, subject_inter_cardinal_tree);
         (subject_dset_check, subject_dset_enum_baseline);
         (subject_engine_send_notrace, subject_engine_send_alloc);
+        (subject_event_heap, subject_event_queue);
         (subject_scc_csr, subject_scc_tree);
         (subject_reach_csr, subject_reach_tree);
         (subject_kosr_csr, subject_kosr_tree);
@@ -716,6 +739,40 @@ let check_experiments ~jobs =
         exit 1
       end
 
+(* ---- sweep workloads -------------------------------------------------- *)
+
+let sweep_json_file = "BENCH_sweep.json"
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Larger-than-default sample counts so each experiment runs long enough
+   to amortise per-dispatch executor overhead. Every entry is rerun
+   sequentially and in parallel and the two rendered tables are
+   byte-compared — a sweep run doubles as a determinism gate. *)
+let sweep_experiments =
+  [
+    ( "e3",
+      12,
+      fun ~jobs ->
+        Stellar_cup.Experiments.e3_theorem2_violation ~seed:1 ~samples:12
+          ~jobs () );
+    ( "e5",
+      12,
+      fun ~jobs ->
+        Stellar_cup.Experiments.e5_availability ~seed:3 ~samples:12 ~jobs () );
+    ( "e6",
+      8,
+      fun ~jobs ->
+        Stellar_cup.Experiments.e6_sink_detector ~seed:4 ~samples:8 ~jobs () );
+    ( "e8",
+      8,
+      fun ~jobs ->
+        Stellar_cup.Experiments.e8_pipelines ~seed:6 ~samples:8 ~jobs () );
+  ]
+
 (* ---- bench regression gate ------------------------------------------- *)
 
 let find_sub hay needle =
@@ -727,10 +784,13 @@ let find_sub hay needle =
   in
   go 0
 
-(* Parses the subject rows back out of our own writer's output (one
-   subject object per line, both keys present): a hand-rolled scan
-   keeps the harness free of a JSON dependency. *)
-let parse_bench_subjects contents =
+(* Parses named rows back out of our own writers' output (one object
+   per line, both keys present): a hand-rolled scan keeps the harness
+   free of a JSON dependency. [value_key] selects the numeric field —
+   ["ns_per_run"] for the microbench files, ["sequential_s"] for the
+   sweep file. *)
+let parse_named_rows ~value_key contents =
+  let value_needle = Printf.sprintf "\"%s\": " value_key in
   String.split_on_char '\n' contents
   |> List.filter_map (fun line ->
          match find_sub line "\"name\": \"" with
@@ -740,7 +800,7 @@ let parse_bench_subjects contents =
              | None -> None
              | Some ne -> (
                  let name = String.sub line ns (ne - ns) in
-                 match find_sub line "\"ns_per_run\": " with
+                 match find_sub line value_needle with
                  | None -> None
                  | Some vs -> (
                      let ve = ref vs in
@@ -757,13 +817,15 @@ let parse_bench_subjects contents =
                      | Some v -> Some (name, v)
                      | None -> None))))
 
-(* Re-measures the microbenches and compares each subject against the
-   committed BENCH_quorum.json, failing on any slowdown beyond the
-   tolerance. The committed file is read before anything is measured
-   and is never rewritten here, so the gate can run in CI ahead of the
-   [micro] mode that regenerates it. *)
+(* Re-measures the microbenches (and the sweep experiments' sequential
+   legs) and compares each subject against the committed
+   BENCH_quorum.json / BENCH_analysis.json / BENCH_sweep.json, failing
+   on any slowdown beyond the tolerance. The committed files are read
+   before anything is measured and are never rewritten here, so the
+   gate can run in CI ahead of the [micro] and [sweep] modes that
+   regenerate them. *)
 let check_regress ~tolerance =
-  let subjects_of file =
+  let rows_of ~value_key file =
     match open_in_bin file with
     | exception Sys_error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -772,21 +834,53 @@ let check_regress ~tolerance =
         let n = in_channel_length ic in
         let s = really_input_string ic n in
         close_in ic;
-        let subjects = parse_bench_subjects s in
+        let subjects = parse_named_rows ~value_key s in
         if subjects = [] then begin
           Printf.eprintf "error: no subjects found in %s\n" file;
           exit 2
         end;
         subjects
   in
+  let subjects_of = rows_of ~value_key:"ns_per_run" in
   let committed =
     subjects_of bench_json_file @ subjects_of analysis_json_file
   in
+  let sweep_committed = rows_of ~value_key:"sequential_s" sweep_json_file in
+  let regressions = ref 0 in
+  (* The sweep file tracks wall-clock seconds, not ns/run: re-run each
+     committed experiment's sequential leg once and hold it to the same
+     tolerance. The parallel columns are runner-shape-dependent (core
+     count), so only the sequential baseline is gated here — the
+     speedup floor lives in the CI sweep-gate job. Measured *before*
+     the Bechamel phase: re-measuring dozens of microbench subjects
+     leaves a bloated major heap that slows the sweep legs several
+     times over. *)
+  Format.printf "== check-regress: sweep sequential legs vs %s ==@."
+    sweep_json_file;
+  List.iter
+    (fun (name, old_s) ->
+      match
+        List.find_opt (fun (n, _, _) -> String.equal n name) sweep_experiments
+      with
+      | None ->
+          Format.printf "?       %-45s committed but not a known sweep \
+                         experiment@."
+            name
+      | Some _ when old_s <= 0. ->
+          Format.printf "?       %-45s not comparable@." name
+      | Some (_, _, run) ->
+          let _, s = timed (fun () -> run ~jobs:1) in
+          let ratio = s /. old_s in
+          let ok = ratio <= 1. +. tolerance in
+          if not ok then incr regressions;
+          Format.printf "%-7s %-45s %.2fs -> %.2fs (%.2fx)@."
+            (if ok then "ok" else "REGRESS")
+            name old_s s ratio)
+    sweep_committed;
   Format.printf
     "== check-regress: tolerance +%.0f%% over committed %s + %s ==@."
     (tolerance *. 100.) bench_json_file analysis_json_file;
   let rows = measure_rows () in
-  let regressions = ref 0 in
   List.iter
     (fun (name, old_ns) ->
       match List.assoc_opt name rows with
@@ -819,38 +913,6 @@ let check_regress ~tolerance =
 
 (* ---- sequential-vs-parallel sweep timings ---------------------------- *)
 
-let sweep_json_file = "BENCH_sweep.json"
-
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
-(* Larger-than-default sample counts so each experiment runs long enough
-   to amortise the pool's fork+marshal overhead. Every entry is rerun
-   sequentially and in parallel and the two rendered tables are
-   byte-compared — a sweep run doubles as a determinism gate. *)
-let sweep_experiments =
-  [
-    ( "e3",
-      12,
-      fun ~jobs ->
-        Stellar_cup.Experiments.e3_theorem2_violation ~seed:1 ~samples:12
-          ~jobs () );
-    ( "e5",
-      12,
-      fun ~jobs ->
-        Stellar_cup.Experiments.e5_availability ~seed:3 ~samples:12 ~jobs () );
-    ( "e6",
-      8,
-      fun ~jobs ->
-        Stellar_cup.Experiments.e6_sink_detector ~seed:4 ~samples:8 ~jobs () );
-    ( "e8",
-      8,
-      fun ~jobs ->
-        Stellar_cup.Experiments.e8_pipelines ~seed:6 ~samples:8 ~jobs () );
-  ]
-
 let run_sweep ~jobs =
   Format.printf "== Sweep executor: sequential vs --jobs %d ==@." jobs;
   let rows =
@@ -879,7 +941,12 @@ let run_sweep ~jobs =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"schema\": \"stellar-cup/bench-sweep/v1\",\n";
+  out "  \"git_sha\": \"%s\",\n" (json_escape (git_sha ()));
   out "  \"jobs\": %d,\n" jobs;
+  (* [n = 2] stands for "any parallel-sized input": the backend choice
+     only depends on whether jobs and n both exceed 1. *)
+  out "  \"backend\": \"%s\",\n"
+    (json_escape (Simkit.Exec.backend_name (Simkit.Exec.backend ~jobs 2)));
   out "  \"unit\": \"seconds_wall_clock\",\n";
   out "  \"experiments\": [\n";
   List.iteri

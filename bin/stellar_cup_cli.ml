@@ -74,9 +74,10 @@ let jobs_term =
   Arg.(
     value & opt int 1
     & info [ "jobs" ] ~docv:"N"
-        ~doc:"Worker processes for independent sub-runs (experiment \
-              samples, --samples sweeps). Output is byte-identical to \
-              --jobs 1; parallelism only buys wall-clock.")
+        ~doc:"Workers for independent sub-runs (experiment samples, \
+              --samples sweeps): domains on OCaml 5, forked processes \
+              otherwise. Output is byte-identical to --jobs 1; \
+              parallelism only buys wall-clock.")
 
 (* ---- observability plumbing ------------------------------------------- *)
 

@@ -11,16 +11,16 @@ let own_value i = Scp.Value.of_ints [ i ]
 (* Every sampled experiment below is a list of parameter rows, each
    aggregating [samples] independent runs, and each run a pure function
    of (param, k). [sampled ~jobs params ~samples job] evaluates the
-   whole param × sample grid through {!Simkit.Pool.map} — one flat job
+   whole param × sample grid through {!Simkit.Exec.map} — one flat job
    list, so workers stay busy across row boundaries — and hands each
    param its sample results back in order. The reduce is sequential and
    ordered, so the rendered tables are byte-identical for every [jobs]
-   value. *)
+   value and on every executor backend. *)
 let sampled ~jobs params ~samples job =
   let grid =
     List.concat_map (fun p -> List.init samples (fun k -> (p, k))) params
   in
-  let results = Simkit.Pool.map ~jobs (fun (p, k) -> job p k) grid in
+  let results = Simkit.Exec.map ~jobs (fun (p, k) -> job p k) grid in
   let rec take n l =
     if n = 0 then ([], l)
     else

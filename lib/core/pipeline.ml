@@ -120,19 +120,21 @@ let sweep ?(jobs = 1) ?(cfg = Simkit.Run_config.default) ~stack ~graph ~f
   (* Graph analyses inside a sweep (sink detection, quorum checks) run
      against the same physical [graph] value every seed, so they hit the
      per-process {!Graphkit.Csr} memo: the graph is compiled and
-     condensed once, not once per run. [Pool] workers fork from the
-     parent, so a memo the parent has already warmed (say by a prior
-     single run on the same graph) is inherited for free. *)
-  (* Observability sinks are per-run mutable state; a sweep's workers
-     each live in their own process, so sinks attached to the parent's
-     config would silently collect nothing. Strip them up front — the
-     sweep is a measurement harness, the single-run entry points remain
-     the observability path. *)
+     condensed once, not once per run. Domain workers share the parent's
+     heap and hit the memo directly (Exec arms the cache's mutex before
+     spawning); fork workers inherit a memo the parent has already
+     warmed for free. *)
+  (* Observability sinks are per-run mutable state; a sweep's fork
+     workers each live in their own process (sinks attached to the
+     parent's config would silently collect nothing), and domain
+     workers would interleave into them nondeterministically. Strip
+     them up front — the sweep is a measurement harness, the single-run
+     entry points remain the observability path. *)
   let base =
     { cfg with Simkit.Run_config.metrics = None; trace = None }
   in
   let verdicts =
-    Simkit.Pool.map ~jobs
+    Simkit.Exec.map ~jobs
       (fun seed ->
         run_stack stack
           ~cfg:(Simkit.Run_config.with_seed seed base)

@@ -11,6 +11,19 @@ type observer = {
   o_entries : Obs.Metrics.gauge;
 }
 
+(* Cache operations run inside a pluggable critical section. The
+   default is a no-op (single-domain processes pay nothing); the
+   parallel executor installs a mutex-backed protector before spawning
+   domains, so the entry-list/length pair always moves atomically.
+   The mutex itself lives in Simkit.Exec — this module only runs the
+   closure it is handed, keeping parallelism primitives behind the
+   executor seam (stellar-lint rule D6). *)
+type protector = { protect : 'a. (unit -> 'a) -> 'a }
+
+let protector = ref { protect = (fun f -> f ()) }
+let set_protector p = protector := p
+let protected f = !protector.protect f
+
 type ('k, 'v) t = {
   cname : string;
   equal : 'k -> 'k -> bool;
@@ -74,16 +87,17 @@ let set_capacity t capacity =
   if capacity < 1 then
     invalid_arg
       (Printf.sprintf "Core.Cache.set_capacity %s: capacity < 1" t.cname);
-  t.cap <- capacity;
-  if t.len > capacity then begin
-    let kept, dropped = take capacity 0 t.entries in
-    t.entries <- kept;
-    t.len <- capacity;
-    note_evictions t dropped;
-    note_len t
-  end
+  protected (fun () ->
+      t.cap <- capacity;
+      if t.len > capacity then begin
+        let kept, dropped = take capacity 0 t.entries in
+        t.entries <- kept;
+        t.len <- capacity;
+        note_evictions t dropped;
+        note_len t
+      end)
 
-let find_opt t k =
+let find_opt_raw t k =
   let rec pull acc = function
     | [] -> None
     | ((k', _) as e) :: tl when t.equal k' k ->
@@ -99,7 +113,9 @@ let find_opt t k =
       note_miss t;
       None
 
-let add t k v =
+let find_opt t k = protected (fun () -> find_opt_raw t k)
+
+let add_raw t k v =
   if t.len >= t.cap then begin
     let kept, dropped = take (t.cap - 1) 0 t.entries in
     t.entries <- kept;
@@ -110,13 +126,29 @@ let add t k v =
   t.len <- t.len + 1;
   note_len t
 
+let add t k v = protected (fun () -> add_raw t k v)
+
 let find_or_add t k compute =
   match find_opt t k with
   | Some v -> v
   | None ->
+      (* [compute] runs outside the critical section — compiling a
+         quorum system or a CSR graph is exactly the expensive work
+         the lock must not serialize. *)
       let v = compute () in
-      add t k v;
-      v
+      protected (fun () ->
+          (* Another worker may have inserted the key while we
+             computed: prefer the resident value so callers memoizing
+             by physical equality keep one stable handle. The probe
+             counts no stats, so sequential counts are unchanged. *)
+          let rec probe = function
+            | [] ->
+                add_raw t k v;
+                v
+            | (k', v') :: _ when t.equal k' k -> v'
+            | _ :: tl -> probe tl
+          in
+          probe t.entries)
 
 (* Declared after the mutators so the immutable stats fields do not
    shadow the cache record's mutable counters of the same name. *)

@@ -21,6 +21,18 @@
 
 type ('k, 'v) t
 
+type protector = { protect : 'a. (unit -> 'a) -> 'a }
+(** A critical section runner wrapped around every cache mutation. *)
+
+val set_protector : protector -> unit
+(** Installs the critical-section runner for {e all} caches (the
+    default runs the closure bare, costing nothing). [Simkit.Exec]
+    arms this with a mutex before its first domain spawn; nothing
+    else should call it — parallelism primitives stay behind the
+    executor seam. [find_or_add] computes outside the critical
+    section and re-probes before inserting, so a racing compute
+    yields one resident value, not two. *)
+
 type stats = {
   hits : int;  (** lookups answered from the cache *)
   misses : int;  (** lookups that found nothing; [hits + misses] = lookups *)

@@ -4,11 +4,6 @@ let src = Logs.Src.create "simkit.engine" ~doc:"Discrete-event engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type 'm event =
-  | Deliver of { src : Pid.t; dst : Pid.t; payload : 'm }
-  | Timer of { owner : Pid.t; tag : string }
-  | Start of Pid.t
-
 type stats = {
   messages_sent : int;
   messages_delivered : int;
@@ -32,7 +27,10 @@ type meters = {
 
 type 'm t = {
   delay : Delay.t;
-  queue : 'm event Event_queue.t;
+  (* The flat {!Event_heap}: same (time, seq) order as the general
+     {!Event_queue} it replaced, but pushes and pops allocate nothing
+     — the per-event cost is array stores, not heap blocks. *)
+  queue : 'm Event_heap.t;
   nodes : (Pid.t, 'm behavior) Hashtbl.t;
   (* Dispatch goes through [slots]: a dense array indexed by pid holding
      the behaviour together with a preallocated ctx, so the per-event
@@ -112,14 +110,13 @@ let send ctx dst payload =
          ("at", Obs.Json.Int (t.clock + d));
        ]
       @ msg_fields t payload);
-  Event_queue.push t.queue ~time:(t.clock + d)
-    (Deliver { src = ctx.owner; dst; payload })
+  Event_heap.push_deliver t.queue ~time:(t.clock + d) ~src:ctx.owner ~dst
+    payload
 
 let set_timer ctx ~delay tag =
   let t = ctx.engine in
-  Event_queue.push t.queue
-    ~time:(t.clock + max 1 delay)
-    (Timer { owner = ctx.owner; tag })
+  Event_heap.push_timer t.queue ~time:(t.clock + max 1 delay) ~owner:ctx.owner
+    tag
 
 let create ?pp_msg ?classify ?metrics ?trace ?(max_time = 1_000_000) ~delay ()
     =
@@ -137,7 +134,7 @@ let create ?pp_msg ?classify ?metrics ?trace ?(max_time = 1_000_000) ~delay ()
   in
   {
     delay;
-    queue = Event_queue.create ();
+    queue = Event_heap.create ();
     nodes = Hashtbl.create 32;
     slots = [||];
     neg_slots = Hashtbl.create 4;
@@ -187,7 +184,7 @@ let stats_of t =
     messages_dropped = t.messages_dropped;
     timers_fired = t.timers_fired;
     end_time = t.clock;
-    queue_high_water = Event_queue.high_water t.queue;
+    queue_high_water = Event_heap.high_water t.queue;
     sent_by =
       (* materialized on demand: the per-send hot path only bumps a
          hash-table counter. Folding into [Pid.Map.add] is the
@@ -201,54 +198,67 @@ let stats_of t =
 
 let now_of t = t.clock
 
-let dispatch t event =
+(* Dispatches the event sitting in the heap's pop cursor. Every cursor
+   field is read into a local before any behaviour runs: a handler's
+   first [send] overwrites the cursor slot. *)
+let dispatch t =
   (match t.meters with
-  | Some m -> Obs.Metrics.set_gauge m.m_queue_depth (Event_queue.length t.queue)
+  | Some m -> Obs.Metrics.set_gauge m.m_queue_depth (Event_heap.length t.queue)
   | None -> ());
-  match event with
-  | Start pid -> (
-      match slot_of t pid with
-      | Some s ->
-          if tracing t then emit t "start" [ ("node", Obs.Json.Int pid) ];
-          s.b.on_start s.ctx
-      | None -> ())
-  | Timer { owner; tag } -> (
-      match slot_of t owner with
-      | Some s ->
-          t.timers_fired <- t.timers_fired + 1;
-          (match t.meters with
-          | Some m -> Obs.Metrics.incr m.m_timers
-          | None -> ());
-          if tracing t then
-            emit t "timer"
-              [ ("owner", Obs.Json.Int owner); ("tag", Obs.Json.String tag) ];
-          s.b.on_timer s.ctx tag
-      | None -> ())
-  | Deliver { src = from; dst; payload } -> (
-      match slot_of t dst with
-      | Some s ->
-          t.messages_delivered <- t.messages_delivered + 1;
-          (match t.meters with
-          | Some m -> Obs.Metrics.incr m.m_delivered
-          | None -> ());
-          if tracing t then
-            emit t "deliver"
-              ([ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ]
-              @ msg_fields t payload);
-          (match t.pp_msg with
-          | Some pp ->
-              Log.debug (fun m ->
-                  m "t=%d %d -> %d : %a" t.clock from dst pp payload)
-          | None -> ());
-          s.b.on_message s.ctx ~src:from payload
-      | None ->
-          t.messages_dropped <- t.messages_dropped + 1;
-          (match t.meters with
-          | Some m -> Obs.Metrics.incr m.m_dropped
-          | None -> ());
-          if tracing t then
-            emit t "drop"
-              [ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ])
+  let q = t.queue in
+  let k = Event_heap.kind q in
+  if Event_heap.Kind.equal k Event_heap.Kind.start then begin
+    let pid = Event_heap.node_a q in
+    match slot_of t pid with
+    | Some s ->
+        if tracing t then emit t "start" [ ("node", Obs.Json.Int pid) ];
+        s.b.on_start s.ctx
+    | None -> ()
+  end
+  else if Event_heap.Kind.equal k Event_heap.Kind.timer then begin
+    let owner = Event_heap.node_a q in
+    let tag = Event_heap.tag q in
+    match slot_of t owner with
+    | Some s ->
+        t.timers_fired <- t.timers_fired + 1;
+        (match t.meters with
+        | Some m -> Obs.Metrics.incr m.m_timers
+        | None -> ());
+        if tracing t then
+          emit t "timer"
+            [ ("owner", Obs.Json.Int owner); ("tag", Obs.Json.String tag) ];
+        s.b.on_timer s.ctx tag
+    | None -> ()
+  end
+  else begin
+    let from = Event_heap.node_a q in
+    let dst = Event_heap.node_b q in
+    let payload = Event_heap.payload q in
+    match slot_of t dst with
+    | Some s ->
+        t.messages_delivered <- t.messages_delivered + 1;
+        (match t.meters with
+        | Some m -> Obs.Metrics.incr m.m_delivered
+        | None -> ());
+        if tracing t then
+          emit t "deliver"
+            ([ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ]
+            @ msg_fields t payload);
+        (match t.pp_msg with
+        | Some pp ->
+            Log.debug (fun m ->
+                m "t=%d %d -> %d : %a" t.clock from dst pp payload)
+        | None -> ());
+        s.b.on_message s.ctx ~src:from payload
+    | None ->
+        t.messages_dropped <- t.messages_dropped + 1;
+        (match t.meters with
+        | Some m -> Obs.Metrics.incr m.m_dropped
+        | None -> ());
+        if tracing t then
+          emit t "drop"
+            [ ("src", Obs.Json.Int from); ("dst", Obs.Json.Int dst) ]
+  end
 
 let run ?max_time ?(stop = fun () -> false) t =
   let max_time = Option.value ~default:t.default_max_time max_time in
@@ -256,19 +266,21 @@ let run ?max_time ?(stop = fun () -> false) t =
      [nodes], not [Hashtbl.iter], so the time-0 schedule (and with it
      the per-run delay stream) never depends on hash-bucket layout. *)
   List.iter
-    (fun pid -> Event_queue.push t.queue ~time:0 (Start pid))
+    (fun pid -> Event_heap.push_start t.queue ~time:0 pid)
     (List.sort Pid.compare
        (Hashtbl.fold (fun pid _ acc -> pid :: acc) t.nodes []));
   let rec loop () =
     if stop () then ()
-    else
-      match Event_queue.pop t.queue with
-      | None -> ()
-      | Some (time, _) when time > max_time -> ()
-      | Some (time, event) ->
-          t.clock <- time;
-          dispatch t event;
-          loop ()
+    else if not (Event_heap.pop t.queue) then ()
+    else begin
+      let time = Event_heap.time t.queue in
+      if time > max_time then ()
+      else begin
+        t.clock <- time;
+        dispatch t;
+        loop ()
+      end
+    end
   in
   loop ();
   stats_of t

@@ -1,0 +1,81 @@
+exception Job_failed = Pool.Job_failed
+
+type backend = Domains | Fork | Sequential
+
+let domains_available = Exec_domains.available
+let fork_available = Pool.has_fork
+
+let backend_name = function
+  | Domains -> "domains"
+  | Fork -> "fork"
+  | Sequential -> "sequential"
+
+let backend ~jobs n =
+  if jobs <= 1 || n <= 1 then Sequential
+  else if domains_available then Domains
+  else if fork_available then Fork
+  else Sequential
+
+let run_in_parallel ~jobs n =
+  match backend ~jobs n with Sequential -> false | Domains | Fork -> true
+
+(* Shared mutable state reachable from jobs (the Core.Cache handle
+   memos and the lazy analysis fields inside compiled handles) is
+   written with idempotent, input-determined values, so racing on it
+   is output-deterministic; but the cache's entry-list/length pair
+   should still move atomically. The executor arms Core.Cache's
+   critical-section hook with the backend's lock the first time the
+   domain backend engages. The actual Mutex lives in
+   exec_domains_native.ml — stdlib on OCaml 5, a separate threads
+   library on 4.14, so this module never names it and no protocol or
+   analysis code ever touches locking directly. *)
+let arm_cache_protector =
+  lazy
+    (Core.Cache.set_protector { Core.Cache.protect = Exec_domains.locked })
+
+(* Chunks amortize dispatch overhead for many tiny jobs but cost load
+   balance for few heavy ones; experiment sweeps are firmly in the
+   second camp (tens of multi-millisecond simulations), so the default
+   only rises above 1 once there are dozens of jobs per worker. *)
+let default_chunk ~jobs n = max 1 (min 1024 (n / (jobs * 32)))
+
+let map_domains ~chunk ~jobs f xs =
+  Lazy.force arm_cache_protector;
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let slots = Array.make n None in
+  (* Each job writes its own slot: disjoint indices, no serialization,
+     results stay on the shared heap. *)
+  let do_job i = slots.(i) <- Some (f input.(i)) in
+  let failures =
+    Exec_domains.map_chunked ~chunk ~domains:(min jobs n) do_job n
+  in
+  match List.sort (fun (i, _) (j, _) -> Int.compare i j) failures with
+  | (_, msg) :: _ -> raise (Job_failed msg)
+  | [] ->
+      Array.to_list
+        (Array.map
+           (function
+             | Some y -> y | None -> raise (Job_failed "missing result"))
+           slots)
+
+let map ?backend:forced ?chunk ~jobs f xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else
+    let chosen =
+      match forced with Some b -> b | None -> backend ~jobs n
+    in
+    let chunk =
+      match chunk with Some c -> max 1 c | None -> default_chunk ~jobs n
+    in
+    match chosen with
+    | Sequential -> List.map f xs
+    | Domains ->
+        if not domains_available then
+          invalid_arg "Simkit.Exec.map: domain backend unavailable";
+        map_domains ~chunk ~jobs f xs
+    | Fork ->
+        if not fork_available then
+          invalid_arg "Simkit.Exec.map: fork backend unavailable";
+        Pool.map_chunked ~chunk ~workers:(min jobs n) f xs

@@ -1,0 +1,81 @@
+(** The parallel map executor behind every [--jobs] flag.
+
+    Two backends, one contract. On OCaml 5 a {b domain pool} spawns
+    [jobs] domains that pull chunks of job indices from a
+    mutex-protected counter and write results straight into a
+    preallocated slot array — shared heap, zero serialization. On 4.14
+    (or wherever domains are unavailable) the {b fork pool} of
+    {!Pool.map_chunked} takes over: the same chunked dynamic dispatch,
+    with results marshalled up a pipe per chunk. The backend is picked
+    at build time by a dune rule (see [lib/sim/dune]): [exec_domains.ml]
+    is either the real domain pool or a stub that reports itself
+    unavailable.
+
+    The contract, identical at every [jobs] count and on both
+    backends: [map ~jobs f xs = List.map f xs], byte for byte.
+    Jobs must be independent pure-ish functions (each experiment
+    sample builds its own engine, metrics registry and trace buffer);
+    the executor adds parallelism as a pure wall-clock optimisation,
+    never a semantic knob. Determinism of the error path: if jobs
+    fail, the exception text of the {e minimum-index} failing job is
+    the one re-raised, on both backends (chunk claiming is monotonic,
+    so that job was always attempted).
+
+    Shared state: the {!Core.Cache} handle memos (compiled quorum
+    systems, CSR graphs) are reachable from jobs. Their values are
+    pure functions of their keys and their internal lazy fields are
+    written idempotently, so races stay output-deterministic; the
+    executor additionally arms {!Core.Cache.set_protector} with the
+    backend's lock before the first domain spawn so the cache's
+    bookkeeping moves atomically. That lock lives in the
+    version-switched backend (identity on 4.14, where [Mutex] is not
+    even in the stdlib) — parallelism primitives stay behind this
+    seam (enforced by stellar-lint rule D6). *)
+
+exception Job_failed of string
+(** The same exception as {!Pool.Job_failed} (rebound, so either name
+    catches it): a job raised (payload: exception text plus backtrace),
+    or a fork worker died before reporting. Raised only after every
+    worker has been joined/reaped. *)
+
+type backend = Domains | Fork | Sequential
+
+val domains_available : bool
+(** Whether this binary was built with the domain backend (OCaml 5). *)
+
+val fork_available : bool
+(** Whether [Unix.fork] exists on this platform. *)
+
+val backend : jobs:int -> int -> backend
+(** [backend ~jobs n] — the backend {!map} would pick for [n] jobs:
+    [Sequential] when [jobs <= 1] or [n <= 1], else domains when
+    available, else fork, else sequential. Exposed so callers (CLI,
+    bench) can report the execution mode. *)
+
+val backend_name : backend -> string
+(** ["domains"], ["fork"] or ["sequential"]. *)
+
+val run_in_parallel : jobs:int -> int -> bool
+(** Whether {!map} would actually run workers (i.e. {!backend} is not
+    [Sequential]). Drop-in for {!Pool.run_in_parallel}. *)
+
+val map :
+  ?backend:backend -> ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] evaluates [f] on every element of [xs] with up to
+    [jobs] workers and returns the results in input order —
+    byte-identical to [List.map f xs].
+
+    [?backend] forces a specific backend (tests use it to exercise the
+    fork path on OCaml 5); [jobs <= 1] and singleton/empty inputs run
+    sequentially regardless. [?chunk] overrides the dispatch chunk
+    size (results are invariant under it; it only moves the
+    throughput/balance trade-off).
+
+    On the fork backend results travel by [Marshal], so ['b] must be
+    marshal-safe plain data there; the domain backend has no such
+    restriction (results never leave the heap). Inputs and [f] are
+    never serialized on either backend.
+
+    @raise Job_failed if any job raises (minimum-index failure wins),
+    after all workers are collected.
+    @raise Invalid_argument if a forced backend is unavailable. *)

@@ -1,0 +1,86 @@
+(* Domain-pool backend for {!Exec} — the OCaml 5 side of the dune
+   version switch. A rule in [lib/sim/dune] copies this file to
+   [exec_domains.ml] when the compiler has domains; on 4.14 the
+   identically-signed [exec_domains_stub.ml] takes its place, so
+   {!Exec} never mentions [Domain] directly and compiles unchanged on
+   both generations.
+
+   The protocol is deliberately untyped-but-narrow: the caller hands us
+   a [do_job : int -> unit] closure (which reads its input and writes
+   its result into caller-owned slot arrays — no serialization, no
+   result transport) plus the job count, and we hand back the failures.
+   Keeping ['a]/['b] out of this interface keeps the stub trivial. *)
+
+let available = true
+
+(* The backend's global lock, used by {!Exec} to serialize Core.Cache
+   bookkeeping across domains. Lives here (not in exec.ml) because
+   [Mutex] is stdlib on OCaml 5 but a separate threads library on
+   4.14 — the stub's [locked] is the identity, so exec.ml never names
+   Mutex and compiles on both generations. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let map_chunked ~chunk ~domains do_job n =
+  (* Domains are not cheap threads: every minor collection is a
+     stop-the-world rendezvous of all of them, so running more domains
+     than the hardware can schedule simultaneously turns the GC
+     barrier into a spin-storm (measured 3-5x slower than sequential
+     on a 1-core container). Cap at the runtime's recommendation —
+     worker count never changes results, only wall-clock, so the cap
+     is invisible to callers. *)
+  let domains = min domains (max 1 (Domain.recommended_domain_count ())) in
+  let m = Mutex.create () in
+  (* Next unclaimed job index. Claiming is monotonic: a worker takes
+     the chunk [next, next+chunk) and advances the counter under the
+     mutex, so every index below any claimed index has been claimed —
+     which is what lets {!Exec} report the minimum-index failure
+     deterministically. *)
+  let next = ref 0 in
+  let failures : (int * string) list ref = ref [] in
+  let take () =
+    Mutex.lock m;
+    let i = !next in
+    if i < n then next := i + chunk;
+    Mutex.unlock m;
+    if i < n then Some (i, min n (i + chunk)) else None
+  in
+  let record i msg =
+    Mutex.lock m;
+    failures := (i, msg) :: !failures;
+    Mutex.unlock m
+  in
+  let worker () =
+    let rec loop () =
+      match take () with
+      | None -> ()
+      | Some (start, stop) ->
+          (* Run the chunk in order, abandoning it at the first failure
+             — exactly the prefix a sequential map would have computed
+             before raising. *)
+          let rec run i =
+            if i < stop then
+              match do_job i with
+              | () -> run (i + 1)
+              | exception e ->
+                  let bt = Printexc.get_backtrace () in
+                  record i
+                    (Printexc.to_string e
+                    ^ if bt = "" then "" else "\n" ^ String.trim bt)
+          in
+          run start;
+          loop ()
+    in
+    loop ()
+  in
+  let spawned =
+    Array.init (max 0 (domains - 1)) (fun _ -> Domain.spawn worker)
+  in
+  (* The calling domain is a worker too: [domains] jobs-in-flight costs
+     [domains - 1] spawns. *)
+  worker ();
+  Array.iter Domain.join spawned;
+  !failures

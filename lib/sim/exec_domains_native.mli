@@ -1,0 +1,24 @@
+(** Domain-pool backend for {!Exec} (OCaml 5 variant).
+
+    Copied to [exec_domains.mli] by a dune rule when the compiler
+    supports domains; see [exec_domains_stub.mli] for the 4.14 side.
+    Both variants expose exactly this signature. *)
+
+val available : bool
+(** Whether this runtime can actually spawn domains ([true] here;
+    [false] in the stub). *)
+
+val locked : (unit -> 'a) -> 'a
+(** Runs the thunk inside the backend's global lock — the critical
+    section {!Exec} arms {!Core.Cache} with. The stub's version is the
+    identity: without domains there is nothing to race. *)
+
+val map_chunked :
+  chunk:int -> domains:int -> (int -> unit) -> int -> (int * string) list
+(** [map_chunked ~chunk ~domains do_job n] runs [do_job i] for every
+    [i] in [0..n-1] across [domains] domains (the caller counts as
+    one), handing out chunks of [chunk] consecutive indices from a
+    mutex-protected counter. Returns the failures as
+    [(job index, exception text)] pairs, in no particular order; a
+    failure abandons the rest of its chunk only. Blocks until every
+    spawned domain has joined. *)

@@ -1,0 +1,13 @@
+(* No-domains backend stub — the OCaml 4.14 side of the dune version
+   switch (see exec_domains_native.ml for the real one). {!Exec} checks
+   [available] before dispatching here, so [map_chunked] is
+   unreachable; it raises rather than silently degrading so a dispatch
+   bug cannot masquerade as a slow sequential run. *)
+
+let available = false
+
+(* Nothing races without domains: the "lock" is the identity. *)
+let locked f = f ()
+
+let map_chunked ~chunk:_ ~domains:_ _do_job _n =
+  invalid_arg "Simkit.Exec: domain backend unavailable on this runtime"

@@ -1,0 +1,16 @@
+(** Domain-pool backend for {!Exec} (no-domains stub, OCaml 4.14).
+
+    Copied to [exec_domains.mli] by a dune rule when the compiler lacks
+    domains; see [exec_domains_native.mli] for the OCaml 5 side. Both
+    variants expose exactly this signature. *)
+
+val available : bool
+(** [false]: this runtime cannot spawn domains. *)
+
+val locked : (unit -> 'a) -> 'a
+(** The identity: no domains, nothing to serialize. *)
+
+val map_chunked :
+  chunk:int -> domains:int -> (int -> unit) -> int -> (int * string) list
+(** @raise Invalid_argument always — {!Exec} never dispatches here
+    when [available] is [false]. *)

@@ -101,3 +101,175 @@ let map ~jobs f xs =
   let n = List.length xs in
   if not (run_in_parallel ~jobs n) then List.map f xs
   else map_forked ~workers:(min jobs n) f xs
+
+(* ------------------------------------------------------------------ *)
+(* Chunked dynamic-dispatch variant, used by {!Exec} as the fork
+   backend. Differences from {!map_forked}:
+
+   - Work is handed out dynamically through a make-jobserver-style
+     token pipe: the parent writes one byte per chunk id and closes
+     the write end before forking, each worker loops single-byte reads
+     until EOF. One-byte reads from a pipe are atomic among competing
+     readers, so a token goes to exactly one worker and a slow chunk
+     no longer staticly pins the rest of its round-robin bucket to the
+     same worker.
+   - Each chunk's results travel as their own compact marshalled frame
+     [(chunk_id, rows)] instead of one whole-bucket message, so the
+     parent can drain pipes while workers still compute and the
+     Marshal tax is paid per result row, never per retained table. *)
+
+(* Chunk ids must fit the one-byte token, so at most 256 chunks: for
+   longer inputs the chunk size is raised, never the token width. *)
+let max_chunks = 256
+
+type 'b chunk_outcome = ('b list, int * string) result
+
+let chunk_worker ~token_r ~result_w ~chunk ~n f (input : _ array) =
+  let compute cid =
+    let start = cid * chunk in
+    let stop = min n (start + chunk) in
+    let rec go i acc =
+      if i >= stop then Ok (List.rev acc)
+      else
+        match f input.(i) with
+        | y -> go (i + 1) (y :: acc)
+        | exception e ->
+            let bt = Printexc.get_backtrace () in
+            Error
+              ( i,
+                Printexc.to_string e
+                ^ if bt = "" then "" else "\n" ^ String.trim bt )
+    in
+    go start []
+  in
+  (try
+     let oc = Unix.out_channel_of_descr result_w in
+     let buf = Bytes.create 1 in
+     let rec loop () =
+       match Unix.read token_r buf 0 1 with
+       | 0 -> ()
+       | _ ->
+           let cid = Char.code (Bytes.get buf 0) in
+           let frame : int * _ chunk_outcome = (cid, compute cid) in
+           Marshal.to_channel oc frame [];
+           loop ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+     in
+     loop ();
+     flush oc
+   with _ -> Unix._exit 2);
+  Unix._exit 0
+
+let map_chunked ~chunk ~workers f xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let input = Array.of_list xs in
+    let chunk = max (max 1 chunk) ((n + max_chunks - 1) / max_chunks) in
+    let nchunks = (n + chunk - 1) / chunk in
+    let workers = max 1 (min workers nchunks) in
+    flush stdout;
+    flush stderr;
+    let token_r, token_w = Unix.pipe ~cloexec:false () in
+    let tokens = Bytes.init nchunks Char.chr in
+    (* At most 256 bytes — far below the pipe buffer, so one write
+       never blocks, and closing the write end before any fork gives
+       every worker a clean EOF once the tokens run out. *)
+    let wrote = Unix.write token_w tokens 0 nchunks in
+    Unix.close token_w;
+    if wrote <> nchunks then begin
+      Unix.close token_r;
+      raise (Job_failed "token pipe refused the chunk list")
+    end;
+    let spawned =
+      Array.init workers (fun _ ->
+          let r, w = Unix.pipe ~cloexec:false () in
+          match Unix.fork () with
+          | 0 ->
+              Unix.close r;
+              chunk_worker ~token_r ~result_w:w ~chunk ~n f input
+          | pid ->
+              Unix.close w;
+              (pid, r))
+    in
+    Unix.close token_r;
+    (* Drain every worker before acting on any failure, like
+       {!map_forked}: a crashed job must surface as an exception, never
+       as a hang or a zombie. *)
+    let outcomes : _ chunk_outcome option array = Array.make nchunks None in
+    let transport = ref [] in
+    Array.iter
+      (fun (pid, r) ->
+        let ic = Unix.in_channel_of_descr r in
+        (try
+           let rec drain () =
+             let cid, (o : _ chunk_outcome) = Marshal.from_channel ic in
+             (if cid < 0 || cid >= nchunks then
+                transport :=
+                  Printf.sprintf "worker answered unknown chunk %d" cid
+                  :: !transport
+              else
+                match outcomes.(cid) with
+                | None -> outcomes.(cid) <- Some o
+                | Some _ ->
+                    transport :=
+                      Printf.sprintf "worker answered chunk %d twice" cid
+                      :: !transport);
+             drain ()
+           in
+           drain ()
+         with
+        | End_of_file -> ()
+        | e ->
+            transport :=
+              ("worker died before reporting: " ^ Printexc.to_string e)
+              :: !transport);
+        (try close_in ic with Sys_error _ -> ());
+        let _, status = Unix.waitpid [] pid in
+        match status with
+        | Unix.WEXITED 0 -> ()
+        | Unix.WEXITED c ->
+            transport :=
+              Printf.sprintf "worker terminated abnormally: exit %d" c
+              :: !transport
+        | Unix.WSIGNALED s ->
+            transport :=
+              Printf.sprintf "worker terminated abnormally: signal %d" s
+              :: !transport
+        | Unix.WSTOPPED s ->
+            transport :=
+              Printf.sprintf "worker terminated abnormally: stopped %d" s
+              :: !transport)
+      spawned;
+    let slots = Array.make n None in
+    let failures = ref [] in
+    let truncated = ref false in
+    Array.iteri
+      (fun cid o ->
+        match o with
+        | None -> ()
+        | Some (Error (i, msg)) -> failures := (i, msg) :: !failures
+        | Some (Ok rows) ->
+            let start = cid * chunk in
+            let stop = min n (start + chunk) in
+            if List.length rows <> stop - start then truncated := true
+            else List.iteri (fun j y -> slots.(start + j) <- Some y) rows)
+      outcomes;
+    (* Job failures win over transport noise, and the minimum job index
+       wins among them: token claiming is monotonic, so the first
+       failure a sequential run would have hit was always attempted —
+       this is the same deterministic choice the domain backend makes. *)
+    match List.sort (fun (i, _) (j, _) -> Int.compare i j) !failures with
+    | (_, msg) :: _ -> raise (Job_failed msg)
+    | [] -> (
+        match List.rev !transport with
+        | msg :: _ -> raise (Job_failed msg)
+        | [] ->
+            if !truncated then
+              raise (Job_failed "worker returned a truncated result list");
+            Array.to_list
+              (Array.map
+                 (function
+                   | Some y -> y | None -> raise (Job_failed "missing result"))
+                 slots))
+  end

@@ -43,3 +43,23 @@ val run_in_parallel : jobs:int -> int -> bool
 (** [run_in_parallel ~jobs n] — whether [map ~jobs] on an [n]-element
     list would actually fork ([jobs > 1], [n > 1] and fork available).
     Exposed so callers (CLI, bench) can report the execution mode. *)
+
+val has_fork : bool
+(** Whether [Unix.fork] exists on this platform (everywhere but
+    Windows). {!Exec} consults this to pick its fallback backend. *)
+
+val map_chunked : chunk:int -> workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_chunked ~chunk ~workers f xs] — the fork backend of {!Exec}:
+    like {!map} but with dynamic load balancing (workers claim chunks
+    of [chunk] consecutive jobs from a jobserver-style token pipe) and
+    compact per-chunk result frames instead of one whole-bucket
+    message. Always forks — callers gate on {!has_fork} and [jobs];
+    use {!map} for the self-dispatching entry point. The chunk size is
+    raised as needed so there are at most 256 chunks.
+
+    Same determinism contract as {!map}: results in input order,
+    byte-identical to [List.map], and on failure the exception of the
+    minimum-index failing job is re-raised as {!Job_failed} after all
+    workers are reaped.
+
+    @raise Job_failed as described above. *)

@@ -33,8 +33,28 @@ let compare_finding a b =
 let in_bench rel = String.starts_with ~prefix:"bench/" rel
 let in_obs rel = String.starts_with ~prefix:"lib/obs/" rel
 
-(* Simkit.Pool is the one sanctioned Marshal user (worker IPC). *)
-let marshal_home rel = String.equal rel "lib/sim/pool.ml"
+(* The executor library (Simkit.Exec and its Simkit.Pool fork backend)
+   is the one sanctioned Marshal user (worker IPC). *)
+let marshal_home rel =
+  String.equal rel "lib/sim/pool.ml" || String.equal rel "lib/sim/exec.ml"
+
+(* Shared-memory parallelism primitives (domain spawning, locks) stay
+   behind the Simkit.Exec seam: everything under lib/sim/ may use
+   them, nothing else may. *)
+let exec_home rel = String.starts_with ~prefix:"lib/sim/" rel
+
+let parallelism_path comps =
+  match comps with
+  | "Mutex" :: _
+  | "Stdlib" :: "Mutex" :: _
+  | "Condition" :: _
+  | "Stdlib" :: "Condition" :: _ ->
+      true
+  | ("Domain" :: _ | "Stdlib" :: "Domain" :: _) -> (
+      (* Only [spawn] — introspection like
+         [Domain.recommended_domain_count] is harmless anywhere. *)
+      match List.rev comps with "spawn" :: _ -> true | _ -> false)
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Suppression comments                                               *)
@@ -259,10 +279,17 @@ let run_expr_rules ~rel structure =
             (match marshal_or_obj comps with
             | Some `Marshal when not (marshal_home rel) ->
                 add e.pexp_loc "D4"
-                  "Marshal is confined to Simkit.Pool (lib/sim/pool.ml)"
+                  "Marshal is confined to the executor library (Simkit.Exec / \
+                   Simkit.Pool)"
             | Some `Obj ->
                 add e.pexp_loc "D4" "Obj.* breaks abstraction and is banned"
-            | Some `Marshal | None -> ()))
+            | Some `Marshal | None -> ());
+            if parallelism_path comps && not (exec_home rel) then
+              add e.pexp_loc "D6"
+                (Printf.sprintf
+                   "%s: shared-memory parallelism (Domain.spawn, Mutex, \
+                    Condition) is confined to lib/sim; go through Simkit.Exec"
+                   (String.concat "." comps)))
     | Pexp_apply (f, args) ->
         (match ident_path f with
         | Some comps when is_hashtbl_enum comps ->

@@ -14,10 +14,13 @@
       [Unix.gettimeofday], [Unix.time], [Sys.time]) outside [bench/].
     - D3 — polymorphic [compare]/[(=)]/[(<>)]/[Hashtbl.hash] applied
       to [Pid.Set]/[Pid.Map]/[Slice] values; use the typed comparators.
-    - D4 — [Marshal] outside [lib/sim/pool.ml] ([Simkit.Pool]), and
-      [Obj.*] anywhere.
+    - D4 — [Marshal] outside the executor library ([lib/sim/pool.ml]
+      and [lib/sim/exec.ml]), and [Obj.*] anywhere.
     - D5 — float [Printf]/[Format] conversions inside [lib/obs] render
       paths; JSON floats must go through the [Obs.Json] encoder.
+    - D6 — shared-memory parallelism primitives ([Domain.spawn],
+      [Mutex.*], [Condition.*]) outside [lib/sim/]; parallel work goes
+      through [Simkit.Exec].
     - M1 — every [lib/] module must have an [.mli].
 
     Any finding on line [l] is waived by a
@@ -54,7 +57,7 @@ val allowed_rules_of_line : string -> string list
 
 val lint_source : rel:string -> string -> report
 (** [lint_source ~rel path] parses [path] (an [.ml] or [.mli],
-    dispatched on extension) and runs rules D1–D5 scoped as if the
+    dispatched on extension) and runs rules D1–D6 scoped as if the
     file lived at [rel]. Unparseable sources yield a single [PARSE]
     finding. Both lists come back sorted by {!compare_finding}. *)
 

@@ -1,0 +1,3 @@
+(* Fixture: domain introspection (no spawn, no locks) is fine anywhere. *)
+let cores () = Domain.recommended_domain_count ()
+let jobs n = min n (cores ())

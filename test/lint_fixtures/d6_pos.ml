@@ -1,0 +1,4 @@
+(* Fixture: raw shared-memory parallelism outside lib/sim. *)
+let worker f = Domain.spawn f
+let guard m = Mutex.lock m
+let wake c = Condition.signal c

@@ -1,0 +1,117 @@
+(* Event_heap is the engine's internal queue: its whole contract is
+   "same (time, push-sequence) order as Event_queue, no allocation".
+   These tests pin the ordering (FIFO tie-break included), the
+   cursor-accessor lifetime across interleaved pushes, payload routing
+   through row recycling, and the 31-bit time guard. *)
+
+module H = Simkit.Event_heap
+
+let drain h =
+  let rec go acc = if H.pop h then go (H.time h :: acc) else List.rev acc in
+  go []
+
+let test_time_order () =
+  let h = H.create () in
+  List.iter (fun t -> H.push_start h ~time:t t) [ 5; 1; 9; 3; 7; 0; 2 ];
+  Alcotest.(check (list int))
+    "pops come out time-sorted" [ 0; 1; 2; 3; 5; 7; 9 ] (drain h);
+  Alcotest.(check bool) "empty after drain" true (H.is_empty h)
+
+let test_fifo_tie_break () =
+  (* Equal times resolve by push order — the property golden traces
+     depend on. Node ids record the push order. *)
+  let h = H.create () in
+  List.iter (fun i -> H.push_start h ~time:42 i) [ 3; 1; 4; 1; 5 ];
+  let rec order acc = if H.pop h then order (H.node_a h :: acc) else acc in
+  Alcotest.(check (list int))
+    "same-time events pop in push order" [ 3; 1; 4; 1; 5 ]
+    (List.rev (order []))
+
+let test_kinds_and_fields () =
+  let h = H.create () in
+  H.push_deliver h ~time:2 ~src:7 ~dst:9 "payload";
+  H.push_timer h ~time:1 ~owner:4 "tick";
+  H.push_start h ~time:0 3;
+  Alcotest.(check bool) "pop start" true (H.pop h);
+  Alcotest.(check bool) "kind start" true (H.Kind.equal (H.kind h) H.Kind.start);
+  Alcotest.(check int) "started pid" 3 (H.node_a h);
+  Alcotest.(check bool) "pop timer" true (H.pop h);
+  Alcotest.(check bool) "kind timer" true (H.Kind.equal (H.kind h) H.Kind.timer);
+  Alcotest.(check int) "timer owner" 4 (H.node_a h);
+  Alcotest.(check string) "timer tag" "tick" (H.tag h);
+  Alcotest.(check bool) "pop deliver" true (H.pop h);
+  Alcotest.(check bool)
+    "kind deliver" true
+    (H.Kind.equal (H.kind h) H.Kind.deliver);
+  Alcotest.(check int) "src" 7 (H.node_a h);
+  Alcotest.(check int) "dst" 9 (H.node_b h);
+  Alcotest.(check string) "payload" "payload" (H.payload h);
+  Alcotest.(check bool) "exhausted" false (H.pop h)
+
+let test_cursor_survives_pushes () =
+  (* The engine reads the popped event while handlers push more events:
+     the cursor row must stay valid until the next pop. *)
+  let h = H.create () in
+  H.push_deliver h ~time:1 ~src:10 ~dst:20 "first";
+  Alcotest.(check bool) "pop" true (H.pop h);
+  (* Push a burst while the cursor is parked — enough to force a grow. *)
+  for i = 0 to 63 do
+    H.push_deliver h ~time:(2 + i) ~src:i ~dst:i ("later" ^ string_of_int i)
+  done;
+  Alcotest.(check string) "cursor payload intact" "first" (H.payload h);
+  Alcotest.(check int) "cursor src intact" 10 (H.node_a h);
+  Alcotest.(check bool) "next pop" true (H.pop h);
+  Alcotest.(check string) "recycled rows carry their own payloads" "later0"
+    (H.payload h)
+
+let test_interleaved_recycling () =
+  (* Steady-state push/pop cycles rows through the free list; order and
+     payloads must be unaffected. *)
+  let h = H.create () in
+  let out = ref [] in
+  for round = 0 to 99 do
+    H.push_deliver h ~time:round ~src:round ~dst:0 round;
+    if round mod 3 <> 0 then
+      if H.pop h then out := H.payload h :: !out
+  done;
+  while H.pop h do
+    out := H.payload h :: !out
+  done;
+  Alcotest.(check (list int))
+    "payloads pop in time order across recycling"
+    (List.init 100 Fun.id) (List.rev !out);
+  Alcotest.(check int) "high water tracks the backlog" 34 (H.high_water h)
+
+let test_time_range_guard () =
+  let h = H.create () in
+  H.push_start h ~time:((1 lsl 31) - 1) 0;
+  Alcotest.(check bool) "max encodable time accepted" true (H.pop h);
+  List.iter
+    (fun bad ->
+      let raised =
+        try
+          H.push_start h ~time:bad 0;
+          false
+        with Invalid_argument _ -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "time %d rejected" bad)
+        true raised)
+    [ -1; 1 lsl 31 ]
+
+let suites =
+  [
+    ( "event-heap",
+      [
+        Alcotest.test_case "time ordering" `Quick test_time_order;
+        Alcotest.test_case "FIFO tie-break at equal times" `Quick
+          test_fifo_tie_break;
+        Alcotest.test_case "kinds and per-kind fields" `Quick
+          test_kinds_and_fields;
+        Alcotest.test_case "cursor survives interleaved pushes" `Quick
+          test_cursor_survives_pushes;
+        Alcotest.test_case "row recycling keeps order and payloads" `Quick
+          test_interleaved_recycling;
+        Alcotest.test_case "31-bit time guard" `Quick test_time_range_guard;
+      ] );
+  ]

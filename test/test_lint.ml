@@ -1,8 +1,9 @@
 (* stellar-lint self-tests: every rule fires on its positive fixture
    and stays silent on the negative one, per-site allow comments
-   suppress, and the path scoping (bench/, lib/obs/, Simkit.Pool) is
-   honoured. Fixtures are parsed by compiler-libs only — they are
-   never compiled, so they can violate the rules freely. *)
+   suppress, and the path scoping (bench/, lib/obs/, the lib/sim
+   executor library) is honoured. Fixtures are parsed by compiler-libs
+   only — they are never compiled, so they can violate the rules
+   freely. *)
 
 let fx name = Filename.concat "lint_fixtures" name
 let run ?(rel = "lib/cup/fixture.ml") name = Lint_core.lint_source ~rel (fx name)
@@ -43,7 +44,10 @@ let test_d4 () =
   check_active "d4 negatives" [] (run "d4_neg.ml");
   check_active "Marshal is legal in Simkit.Pool (Obj still is not)"
     [ (3, "D4") ]
-    (run ~rel:"lib/sim/pool.ml" "d4_pos.ml")
+    (run ~rel:"lib/sim/pool.ml" "d4_pos.ml");
+  check_active "Marshal is legal in Simkit.Exec (Obj still is not)"
+    [ (3, "D4") ]
+    (run ~rel:"lib/sim/exec.ml" "d4_pos.ml")
 
 let test_d5 () =
   check_active "d5 positives"
@@ -51,6 +55,14 @@ let test_d5 () =
     (run ~rel:"lib/obs/fixture.ml" "d5_pos.ml");
   check_active "d5 negatives" [] (run ~rel:"lib/obs/fixture.ml" "d5_neg.ml");
   check_active "float formats are legal outside lib/obs" [] (run "d5_pos.ml")
+
+let test_d6 () =
+  check_active "d6 positives"
+    [ (2, "D6"); (3, "D6"); (4, "D6") ]
+    (run "d6_pos.ml");
+  check_active "d6 negatives" [] (run "d6_neg.ml");
+  check_active "parallelism primitives are legal under lib/sim" []
+    (run ~rel:"lib/sim/exec_domains_native.ml" "d6_pos.ml")
 
 let test_m1 () =
   let files dir =
@@ -105,6 +117,8 @@ let suites =
         Alcotest.test_case "D3 polymorphic comparison" `Quick test_d3;
         Alcotest.test_case "D4 Marshal/Obj, Pool scoped" `Quick test_d4;
         Alcotest.test_case "D5 float formats in lib/obs" `Quick test_d5;
+        Alcotest.test_case "D6 parallelism primitives, lib/sim scoped" `Quick
+          test_d6;
         Alcotest.test_case "M1 missing mli" `Quick test_m1;
         Alcotest.test_case "allow-comment parsing" `Quick test_allow_parsing;
         Alcotest.test_case "report and baseline formats" `Quick
