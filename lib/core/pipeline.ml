@@ -137,6 +137,7 @@ let sweep ?(jobs = 1) ?(cfg = Simkit.Run_config.default) ~stack ~graph ~f
     Simkit.Exec.map ~jobs
       (fun seed ->
         run_stack stack
+          (* lint: allow R1 — base is sink-stripped above: metrics/trace are None, all other fields immutable *)
           ~cfg:(Simkit.Run_config.with_seed seed base)
           ~graph ~f ~faulty ~initial_value_of)
       seeds

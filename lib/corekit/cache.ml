@@ -20,6 +20,7 @@ type observer = {
    executor seam (stellar-lint rule D6). *)
 type protector = { protect : 'a. (unit -> 'a) -> 'a }
 
+(* lint: allow R2 — this ref IS the lock seam: Exec arms it before its first spawn and nothing writes it afterwards *)
 let protector = ref { protect = (fun f -> f ()) }
 let set_protector p = protector := p
 let protected f = !protector.protect f

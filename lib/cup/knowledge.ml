@@ -29,8 +29,8 @@ let create ~self ~pd ~f =
 let known t = t.known
 let sink_result t = t.sink
 
-let check_sink t =
-  (match t.sink with
+let refresh_sink t =
+  match t.sink with
   | Some _ -> ()
   | None ->
       let agreeing =
@@ -50,7 +50,10 @@ let check_sink t =
       if
         Pid.Set.cardinal t.known >= (2 * t.f) + 1
         && agreeing >= Pid.Set.cardinal t.known - t.f
-      then t.sink <- Some t.known);
+      then t.sink <- Some t.known
+
+let check_sink t =
+  refresh_sink t;
   t.sink
 
 (* Recompute [known] from first-hand knowledge plus ids vouched by
@@ -126,5 +129,5 @@ let on_know t ~send ~src view =
     t.last_know <- monotone t.last_know;
     t.claims <- monotone t.claims;
     stabilise t ~send;
-    ignore (check_sink t)
+    refresh_sink t
   end

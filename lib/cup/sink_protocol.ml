@@ -246,6 +246,7 @@ let run_cfg ?(cfg = Run_config.default) ?max_copies_per_origin ~graph ~f
   let stats = Engine.run ~stop:all_done engine in
   { answers = !answers; stats }
 
+(* lint: allow R2 — immutable constant; the type's only mutable capability (metrics/trace sinks) is None here *)
 let default_run_config =
   { Run_config.default with delta = 10; max_time = 100_000 }
 

@@ -52,7 +52,9 @@ let components_baseline g =
             Hashtbl.replace st.lowlinks v
               (min (Hashtbl.find st.lowlinks v) (Hashtbl.find st.indices w))
       | [] ->
-          ignore (Stack.pop frames);
+          (* The popped frame is [v]'s own — its fields live on in
+             [v]/[rest]; only the stack slot is being retired. *)
+          let (_ : Pid.t * Pid.t list ref) = Stack.pop frames in
           if Hashtbl.find st.lowlinks v = Hashtbl.find st.indices v then begin
             let rec collect acc =
               let w = Stack.pop st.stack in

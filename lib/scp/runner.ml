@@ -38,6 +38,7 @@ type cfg = {
   nomination : Node.nomination_strategy;
 }
 
+(* lint: allow R2 — immutable constant; the type's only mutable capability (metrics/trace sinks) is None here *)
 let default_cfg =
   { run = Run_config.default; ballot_timeout = 40; nomination = Node.Echo_all }
 

@@ -148,10 +148,16 @@ let push_row t ~time kind a b tag =
   sift_up t (t.size - 1);
   r
 
-let push_start t ~time pid = ignore (push_row t ~time Kind.start pid (-1) "")
+(* Start and timer rows carry no payload, so the row index has no
+   further use at these call sites — deliver is the one push that
+   needs it back (to attach the payload). *)
+let push_start t ~time pid =
+  let (_ : int) = push_row t ~time Kind.start pid (-1) "" in
+  ()
 
 let push_timer t ~time ~owner tag =
-  ignore (push_row t ~time Kind.timer owner (-1) tag)
+  let (_ : int) = push_row t ~time Kind.timer owner (-1) tag in
+  ()
 
 let push_deliver t ~time ~src ~dst payload =
   let r = push_row t ~time Kind.deliver src dst "" in

@@ -8,6 +8,7 @@ type t = {
   trace : Obs.Trace.sink option;
 }
 
+(* lint: allow R2 — immutable constant; the type's only mutable capability (metrics/trace sinks) is None here *)
 let default =
   {
     seed = 0;

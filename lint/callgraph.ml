@@ -1,0 +1,201 @@
+(* Interprocedural call graph over the loaded typed units.
+
+   Nodes are toplevel value bindings, named by their canonical
+   component path joined with '.' ("Cup.Knowledge.check_sink").
+   Edges go from a binding to every identifier its body mentions:
+   same-unit toplevel bindings resolve through the Ident stamp, and
+   cross-unit references through the canonicalized Path. Targets that
+   are not nodes (stdlib, other libraries outside the cmt set) stay as
+   plain names — the taint seeds live there.
+
+   The graph is deliberately conservative: a mention is an edge
+   whether the value is called, partially applied or stored, so taint
+   (P1) and reachability (R2) never miss a flow through a higher-order
+   wrapper; the cost is that a function that merely logs another's
+   name as a string literal is never connected (identifiers only). *)
+
+type node = {
+  name : string;  (* canonical dotted name *)
+  source : string;  (* build-relative source of the defining unit *)
+  line : int;  (* definition site *)
+  mutable edges : string list;  (* canonical names, deduplicated, sorted *)
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  by_unit : (string, node list) Hashtbl.t;  (* modname -> its nodes *)
+}
+
+let find t name = Hashtbl.find_opt t.nodes name
+let unit_nodes t modname =
+  match Hashtbl.find_opt t.by_unit modname with Some l -> l | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let binding_idents vb =
+  List.map
+    (fun (id, (loc : string Location.loc), _) -> (id, loc.loc))
+    (Typedtree.pat_bound_idents_full vb.Typedtree.vb_pat)
+
+let references expr =
+  let acc = ref [] in
+  let e_iter (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> acc := p :: !acc
+    | _ -> ());
+    Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with expr = e_iter } in
+  it.expr it expr;
+  List.rev !acc
+
+let build (loaded : Loader.t) =
+  let nodes = Hashtbl.create 256 in
+  let by_unit = Hashtbl.create 64 in
+  (* Pass 1: declare every toplevel binding of every unit, and record
+     the Ident -> canonical-name map used to resolve same-unit
+     references (toplevel values of the current unit appear as bare
+     Pidents in the Typedtree). *)
+  let locals_of_unit = Hashtbl.create 64 in
+  List.iter
+    (fun (u : Loader.unit_info) ->
+      let locals = Hashtbl.create 32 in
+      let declare vb =
+        List.iter
+          (fun (id, loc) ->
+            let name =
+              String.concat "." (u.mod_comps @ [ Ident.name id ])
+            in
+            let line = loc.Location.loc_start.Lexing.pos_lnum in
+            if not (Hashtbl.mem nodes name) then begin
+              let node = { name; source = u.source; line; edges = [] } in
+              Hashtbl.add nodes name node;
+              Hashtbl.replace by_unit u.modname
+                (node :: unit_nodes { nodes; by_unit } u.modname)
+            end;
+            Hashtbl.replace locals (Ident.unique_name id) name)
+          (binding_idents vb)
+      in
+      List.iter
+        (fun (item : Typedtree.structure_item) ->
+          match item.str_desc with
+          | Typedtree.Tstr_value (_, vbs) -> List.iter declare vbs
+          | _ -> ())
+        u.structure.str_items;
+      Hashtbl.add locals_of_unit u.modname locals)
+    loaded.units;
+  (* Pass 2: edges. *)
+  List.iter
+    (fun (u : Loader.unit_info) ->
+      let locals =
+        match Hashtbl.find_opt locals_of_unit u.modname with
+        | Some l -> l
+        | None -> Hashtbl.create 1
+      in
+      let resolve p =
+        match p with
+        | Path.Pident id -> Hashtbl.find_opt locals (Ident.unique_name id)
+        | _ -> (
+            match Loader.path_comps p with
+            | [] -> None
+            | comps -> Some (String.concat "." comps))
+      in
+      let connect vb =
+        let targets =
+          List.sort_uniq String.compare
+            (List.filter_map resolve (references vb.Typedtree.vb_expr))
+        in
+        List.iter
+          (fun (id, _) ->
+            match
+              Hashtbl.find_opt nodes
+                (String.concat "." (u.mod_comps @ [ Ident.name id ]))
+            with
+            | Some node ->
+                node.edges <-
+                  List.sort_uniq String.compare (node.edges @ targets)
+            | None -> ())
+          (binding_idents vb)
+      in
+      List.iter
+        (fun (item : Typedtree.structure_item) ->
+          match item.str_desc with
+          | Typedtree.Tstr_value (_, vbs) -> List.iter connect vbs
+          | _ -> ())
+        u.structure.str_items)
+    loaded.units;
+  { nodes; by_unit }
+
+(* ------------------------------------------------------------------ *)
+(* Taint (backward) and reachability (forward)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [taint t ~seed] marks every node from which a name satisfying
+   [seed] is reachable along call edges, and returns for each tainted
+   node its witness chain (node name first, seed name last). BFS from
+   the node side in sorted order keeps chains shortest-first and
+   deterministic. *)
+let taint t ~seed =
+  let chains : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  let sorted_nodes =
+    List.sort
+      (fun a b -> String.compare a.name b.name)
+      (Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes [])
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun node ->
+        if not (Hashtbl.mem chains node.name) then
+          let hit =
+            List.find_map
+              (fun target ->
+                if Hashtbl.mem t.nodes target then
+                  match Hashtbl.find_opt chains target with
+                  | Some chain -> Some (node.name :: chain)
+                  | None -> None
+                else if seed (String.split_on_char '.' target) then
+                  Some [ node.name; target ]
+                else None)
+              node.edges
+          in
+          match hit with
+          | Some chain ->
+              Hashtbl.add chains node.name chain;
+              changed := true
+          | None -> ())
+      sorted_nodes
+  done;
+  chains
+
+(* [reachable t starts] walks call edges forward from [starts]
+   (canonical names; non-node names are kept as dead ends) and returns
+   name -> chain from a start (start first). *)
+let reachable t starts =
+  let chains : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem chains s) then begin
+        Hashtbl.add chains s [ s ];
+        Queue.add s queue
+      end)
+    (List.sort_uniq String.compare starts);
+  while not (Queue.is_empty queue) do
+    let name = Queue.pop queue in
+    match Hashtbl.find_opt t.nodes name with
+    | None -> ()
+    | Some node ->
+        let chain = Hashtbl.find chains name in
+        List.iter
+          (fun target ->
+            if not (Hashtbl.mem chains target) then begin
+              Hashtbl.add chains target (chain @ [ target ]);
+              Queue.add target queue
+            end)
+          node.edges
+  done;
+  chains

@@ -1,19 +1,27 @@
-open Parsetree
-
 type finding = {
   file : string;
   line : int;
   col : int;
   rule : string;
   message : string;
+  chain : string list;
 }
 
 type report = { active : finding list; suppressed : finding list }
 
-let to_string f =
-  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
+let mk ~file ~line ~col ~rule ~message =
+  { file; line; col; rule; message; chain = [] }
 
-let baseline_key f = Printf.sprintf "%s [%s]" f.file f.rule
+let chain_suffix f =
+  match f.chain with
+  | [] -> ""
+  | c -> Printf.sprintf " (chain: %s)" (String.concat " -> " c)
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d [%s] %s%s" f.file f.line f.col f.rule f.message
+    (chain_suffix f)
+
+let baseline_key f = Printf.sprintf "%s:%d [%s]" f.file f.line f.rule
 
 let compare_finding a b =
   match String.compare a.file b.file with
@@ -25,36 +33,6 @@ let compare_finding a b =
           | c -> c)
       | c -> c)
   | c -> c
-
-(* ------------------------------------------------------------------ *)
-(* Path scoping                                                       *)
-(* ------------------------------------------------------------------ *)
-
-let in_bench rel = String.starts_with ~prefix:"bench/" rel
-let in_obs rel = String.starts_with ~prefix:"lib/obs/" rel
-
-(* The executor library (Simkit.Exec and its Simkit.Pool fork backend)
-   is the one sanctioned Marshal user (worker IPC). *)
-let marshal_home rel =
-  String.equal rel "lib/sim/pool.ml" || String.equal rel "lib/sim/exec.ml"
-
-(* Shared-memory parallelism primitives (domain spawning, locks) stay
-   behind the Simkit.Exec seam: everything under lib/sim/ may use
-   them, nothing else may. *)
-let exec_home rel = String.starts_with ~prefix:"lib/sim/" rel
-
-let parallelism_path comps =
-  match comps with
-  | "Mutex" :: _
-  | "Stdlib" :: "Mutex" :: _
-  | "Condition" :: _
-  | "Stdlib" :: "Condition" :: _ ->
-      true
-  | ("Domain" :: _ | "Stdlib" :: "Domain" :: _) -> (
-      (* Only [spawn] — introspection like
-         [Domain.recommended_domain_count] is harmless anywhere. *)
-      match List.rev comps with "spawn" :: _ -> true | _ -> false)
-  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Suppression comments                                               *)
@@ -102,247 +80,22 @@ let allows_of_text text =
     (String.split_on_char '\n' text);
   tbl
 
+(* T1 is the typed successor of the syntactic D3 heuristic: an
+   existing [allow D3] site keeps waiving the same hazard when the
+   typed pass re-derives it as T1. *)
+let rule_alias = function "T1" -> Some "D3" | _ -> None
+
 let is_allowed allows f =
   let at line =
     match Hashtbl.find_opt allows line with
-    | Some rules -> List.mem f.rule rules
+    | Some rules ->
+        List.mem f.rule rules
+        || (match rule_alias f.rule with
+           | Some alias -> List.mem alias rules
+           | None -> false)
     | None -> false
   in
   at f.line || at (f.line - 1)
-
-(* ------------------------------------------------------------------ *)
-(* Longident helpers                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let flatten lid = try Longident.flatten lid with _ -> []
-
-let ident_path e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> (
-      match flatten txt with [] -> None | comps -> Some comps)
-  | _ -> None
-
-let last_two comps =
-  match List.rev comps with
-  | last :: prev :: _ -> Some (prev, last)
-  | [ last ] -> Some ("", last)
-  | [] -> None
-
-(* An "ordering step": a sort, or a conversion through an ordered
-   [Set]/[Map] submodule (e.g. folding into [Pid.Map.add]). *)
-let is_sort_fn = function
-  | ( ("List" | "ListLabels" | "Array" | "ArrayLabels"),
-      ("sort" | "stable_sort" | "fast_sort" | "sort_uniq") ) ->
-      true
-  | _ -> false
-
-let is_ordering_path comps =
-  List.exists (fun c -> String.equal c "Set" || String.equal c "Map") comps
-  || match last_two comps with Some p -> is_sort_fn p | None -> false
-
-let is_hashtbl_enum comps =
-  match last_two comps with
-  | Some ("Hashtbl", ("iter" | "fold")) -> true
-  | _ -> false
-
-let entropy_path comps =
-  match last_two comps with
-  | Some ("Random", ("self_init" | "make_self_init"))
-  | Some ("State", "make_self_init")
-  | Some ("Unix", ("gettimeofday" | "time"))
-  | Some ("Sys", "time") ->
-      true
-  | _ -> false
-
-let marshal_or_obj comps =
-  match comps with
-  | "Marshal" :: _ | "Stdlib" :: "Marshal" :: _ -> Some `Marshal
-  | "Obj" :: _ | "Stdlib" :: "Obj" :: _ -> Some `Obj
-  | _ -> None
-
-let poly_compare_head comps =
-  match comps with
-  | [ ("=" | "<>" | "compare") ] | [ "Stdlib"; ("=" | "<>" | "compare") ] ->
-      true
-  | _ -> (
-      match last_two comps with
-      | Some ("Hashtbl", "hash") -> true
-      | _ -> false)
-
-(* D3 looks only at each argument's head: a value built by a container
-   constructor (or annotated with a container type) is sensitive, while
-   scalar accessors are not — [n = Pid.Set.cardinal s] is a plain int
-   comparison even though a set appears in the subtree. *)
-let container_module c =
-  String.equal c "Set" || String.equal c "Map" || String.equal c "Slice"
-
-let container_ctor = function
-  | "empty" | "singleton" | "add" | "remove" | "union" | "inter" | "diff"
-  | "of_list" | "of_set" | "of_range" | "of_ints" | "filter" | "map" | "mapi"
-  | "keys" | "update" | "threshold" | "explicit" ->
-      true
-  | _ -> false
-
-let sensitive_value_path comps =
-  List.exists container_module comps
-  && match List.rev comps with last :: _ -> container_ctor last | [] -> false
-
-let sensitive_type ty =
-  match ty.ptyp_desc with
-  | Ptyp_constr ({ txt; _ }, _) -> List.exists container_module (flatten txt)
-  | _ -> false
-
-let rec sensitive_arg a =
-  match a.pexp_desc with
-  | Pexp_constraint (e, ty) -> sensitive_type ty || sensitive_arg e
-  | Pexp_apply (h, _) -> (
-      match ident_path h with
-      | Some comps -> sensitive_value_path comps
-      | None -> false)
-  | Pexp_ident { txt; _ } -> sensitive_value_path (flatten txt)
-  | _ -> false
-
-let is_format_family comps =
-  List.exists (fun c -> String.equal c "Printf" || String.equal c "Format") comps
-
-(* Does a printf-style literal contain a float conversion (%f %e %g %h
-   and friends)? Width/precision/flags are skipped; [%%] never
-   matches. *)
-let has_float_conversion s =
-  let n = String.length s in
-  let rec conv j =
-    if j >= n then false
-    else
-      match s.[j] with
-      | 'f' | 'F' | 'e' | 'E' | 'g' | 'G' | 'h' | 'H' -> true
-      | '0' .. '9' | '.' | '-' | '+' | ' ' | '#' | '*' -> conv (j + 1)
-      | _ -> false
-  in
-  let rec go i =
-    if i >= n - 1 then false
-    else if s.[i] = '%' then conv (i + 1) || go (i + 1)
-    else go (i + 1)
-  in
-  go 0
-
-(* ------------------------------------------------------------------ *)
-(* Expression-level rules                                             *)
-(* ------------------------------------------------------------------ *)
-
-let loc_pos loc =
-  let p = loc.Location.loc_start in
-  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
-
-(* Every ident path (and type-constructor path, for [(e : Pid.Set.t)]
-   constraints) mentioned anywhere inside [e]. *)
-let subtree_paths e =
-  let acc = ref [] in
-  let expr it e =
-    (match e.pexp_desc with
-    | Pexp_ident { txt; _ } -> (
-        match flatten txt with [] -> () | comps -> acc := comps :: !acc)
-    | _ -> ());
-    Ast_iterator.default_iterator.expr it e
-  in
-  let typ it ty =
-    (match ty.ptyp_desc with
-    | Ptyp_constr ({ txt; _ }, _) -> (
-        match flatten txt with [] -> () | comps -> acc := comps :: !acc)
-    | _ -> ());
-    Ast_iterator.default_iterator.typ it ty
-  in
-  let it = { Ast_iterator.default_iterator with expr; typ } in
-  it.expr it e;
-  !acc
-
-let run_expr_rules ~rel structure =
-  let findings = ref [] in
-  let add loc rule message =
-    let line, col = loc_pos loc in
-    findings := { file = rel; line; col; rule; message } :: !findings
-  in
-  (* Depth of enclosing applications whose head is an ordering step:
-     inside [List.sort cmp (Hashtbl.fold ...)] the fold is fine. *)
-  let ordered_depth = ref 0 in
-  let expr it e =
-    (match e.pexp_desc with
-    | Pexp_ident _ -> (
-        match ident_path e with
-        | None -> ()
-        | Some comps ->
-            if entropy_path comps && not (in_bench rel) then
-              add e.pexp_loc "D2"
-                (Printf.sprintf
-                   "%s: wall-clock/ambient entropy is banned outside bench/ \
-                    (thread the seed through Run_config instead)"
-                   (String.concat "." comps));
-            (match marshal_or_obj comps with
-            | Some `Marshal when not (marshal_home rel) ->
-                add e.pexp_loc "D4"
-                  "Marshal is confined to the executor library (Simkit.Exec / \
-                   Simkit.Pool)"
-            | Some `Obj ->
-                add e.pexp_loc "D4" "Obj.* breaks abstraction and is banned"
-            | Some `Marshal | None -> ());
-            if parallelism_path comps && not (exec_home rel) then
-              add e.pexp_loc "D6"
-                (Printf.sprintf
-                   "%s: shared-memory parallelism (Domain.spawn, Mutex, \
-                    Condition) is confined to lib/sim; go through Simkit.Exec"
-                   (String.concat "." comps)))
-    | Pexp_apply (f, args) ->
-        (match ident_path f with
-        | Some comps when is_hashtbl_enum comps ->
-            if
-              !ordered_depth = 0
-              && not (List.exists is_ordering_path (subtree_paths e))
-            then
-              add f.pexp_loc "D1"
-                "Hashtbl enumeration order escapes; sort or convert via \
-                 Set/Map in the same expression, or add (* lint: allow D1 — \
-                 reason *)"
-        | _ -> ());
-        (match ident_path f with
-        | Some comps when poly_compare_head comps ->
-            if List.exists (fun (_, a) -> sensitive_arg a) args then
-              add f.pexp_loc "D3"
-                "polymorphic compare/(=)/hash on Pid.Set/Pid.Map/Slice \
-                 values; use the typed comparators"
-        | _ -> ());
-        if in_obs rel then (
-          match ident_path f with
-          | Some comps when is_format_family comps ->
-              List.iter
-                (fun (_, a) ->
-                  match a.pexp_desc with
-                  | Pexp_constant (Pconst_string (s, _, _))
-                    when has_float_conversion s ->
-                      add a.pexp_loc "D5"
-                        "float format in a lib/obs render path; floats must \
-                         go through the Obs.Json encoder"
-                  | _ -> ())
-                args
-          | _ -> ())
-    | _ -> ());
-    let entered =
-      match e.pexp_desc with
-      | Pexp_apply (f, _) -> (
-          match ident_path f with
-          | Some comps -> is_ordering_path comps
-          | None -> false)
-      | _ -> false
-    in
-    if entered then incr ordered_depth;
-    Ast_iterator.default_iterator.expr it e;
-    if entered then decr ordered_depth
-  in
-  let it = { Ast_iterator.default_iterator with expr } in
-  it.structure it structure;
-  !findings
-
-(* ------------------------------------------------------------------ *)
-(* Entry points                                                       *)
-(* ------------------------------------------------------------------ *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -350,45 +103,180 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_source ~rel path =
-  let parsed =
-    try
-      if Filename.check_suffix path ".mli" then begin
-        ignore (Pparse.parse_interface ~tool_name:"stellar-lint" path);
-        Ok None
-      end
-      else Ok (Some (Pparse.parse_implementation ~tool_name:"stellar-lint" path))
-    with exn -> Error (Printexc.to_string exn)
+(* Partition findings through the allow comments of their source
+   files, read from disk under [root]. Files that cannot be read
+   (generated units, out-of-tree sources) carry no allows. *)
+let apply_allows ~root findings =
+  let allows_of_file = Hashtbl.create 16 in
+  let allows file =
+    match Hashtbl.find_opt allows_of_file file with
+    | Some tbl -> tbl
+    | None ->
+        let tbl =
+          match read_file (Filename.concat root file) with
+          | text -> allows_of_text text
+          | exception _ -> Hashtbl.create 1
+        in
+        Hashtbl.add allows_of_file file tbl;
+        tbl
   in
-  match parsed with
-  | Error msg ->
-      {
-        active =
-          [ { file = rel; line = 1; col = 0; rule = "PARSE"; message = msg } ];
-        suppressed = [];
-      }
-  | Ok None -> { active = []; suppressed = [] }
-  | Ok (Some structure) ->
-      let found = run_expr_rules ~rel structure in
-      let allows = allows_of_text (read_file path) in
-      let suppressed, active = List.partition (is_allowed allows) found in
-      {
-        active = List.sort compare_finding active;
-        suppressed = List.sort compare_finding suppressed;
-      }
+  let suppressed, active =
+    List.partition (fun f -> is_allowed (allows f.file) f) findings
+  in
+  {
+    active = List.sort compare_finding active;
+    suppressed = List.sort compare_finding suppressed;
+  }
 
-let rule_m1 ~ml_files ~mli_files =
-  ml_files
-  |> List.filter (fun f ->
-         String.starts_with ~prefix:"lib/" f
-         && Filename.check_suffix f ".ml"
-         && not (List.mem (f ^ "i") mli_files))
-  |> List.map (fun f ->
-         {
-           file = f;
-           line = 1;
-           col = 0;
-           rule = "M1";
-           message = "lib/ module has no .mli; every lib interface is explicit";
-         })
-  |> List.sort compare_finding
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let load_baseline path =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line ->
+              let line = String.trim line in
+              if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+
+let baseline_header =
+  "# stellar-lint baseline — grandfathered findings, one\n\
+   # \"file:line [RULE]\" entry per line (see DESIGN.md §11). Entries\n\
+   # are line-keyed, so a baselined finding gates again as soon as its\n\
+   # site moves; regenerate with `stellar-lint --baseline-update`. The\n\
+   # gate lands strict: keep this file empty and prefer a per-site\n\
+   # (* lint: allow RULE — reason *) comment, which is visible where\n\
+   # the hazard lives.\n"
+
+let render_baseline findings =
+  let keys =
+    List.sort_uniq String.compare (List.map baseline_key findings)
+  in
+  baseline_header ^ String.concat "" (List.map (fun k -> k ^ "\n") keys)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable reports                                           *)
+(* ------------------------------------------------------------------ *)
+
+let finding_json status f =
+  let base =
+    [
+      ("file", Obs.Json.String f.file);
+      ("line", Obs.Json.Int f.line);
+      ("col", Obs.Json.Int f.col);
+      ("rule", Obs.Json.String f.rule);
+      ("message", Obs.Json.String f.message);
+      ("status", Obs.Json.String status);
+    ]
+  in
+  Obs.Json.Obj
+    (if f.chain = [] then base
+     else
+       base
+       @ [
+           ( "chain",
+             Obs.Json.List (List.map (fun c -> Obs.Json.String c) f.chain) );
+         ])
+
+(* SARIF 2.1.0, the minimal subset GitHub code scanning ingests: one
+   run, one rule entry per distinct rule id, one result per finding.
+   Gating findings are errors; baselined and allow-suppressed ones are
+   notes carrying a suppression record, so viewers can filter them the
+   same way the exit code does. *)
+let sarif_doc ~gating ~baselined ~suppressed =
+  let rule_ids =
+    List.sort_uniq String.compare
+      (List.map (fun f -> f.rule) (gating @ baselined @ suppressed))
+  in
+  let result ~level ~suppression f =
+    let fields =
+      [
+        ("ruleId", Obs.Json.String f.rule);
+        ("level", Obs.Json.String level);
+        ( "message",
+          Obs.Json.Obj
+            [ ("text", Obs.Json.String (f.message ^ chain_suffix f)) ] );
+        ( "locations",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                [
+                  ( "physicalLocation",
+                    Obs.Json.Obj
+                      [
+                        ( "artifactLocation",
+                          Obs.Json.Obj [ ("uri", Obs.Json.String f.file) ] );
+                        ( "region",
+                          Obs.Json.Obj
+                            [
+                              ("startLine", Obs.Json.Int f.line);
+                              ("startColumn", Obs.Json.Int (f.col + 1));
+                            ] );
+                      ] );
+                ];
+            ] );
+      ]
+    in
+    let fields =
+      match suppression with
+      | None -> fields
+      | Some kind ->
+          fields
+          @ [
+              ( "suppressions",
+                Obs.Json.List
+                  [ Obs.Json.Obj [ ("kind", Obs.Json.String kind) ] ] );
+            ]
+    in
+    Obs.Json.Obj fields
+  in
+  Obs.Json.Obj
+    [
+      ( "$schema",
+        Obs.Json.String
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ("version", Obs.Json.String "2.1.0");
+      ( "runs",
+        Obs.Json.List
+          [
+            Obs.Json.Obj
+              [
+                ( "tool",
+                  Obs.Json.Obj
+                    [
+                      ( "driver",
+                        Obs.Json.Obj
+                          [
+                            ("name", Obs.Json.String "stellar-lint");
+                            ("version", Obs.Json.String "2");
+                            ( "rules",
+                              Obs.Json.List
+                                (List.map
+                                   (fun id ->
+                                     Obs.Json.Obj
+                                       [ ("id", Obs.Json.String id) ])
+                                   rule_ids) );
+                          ] );
+                    ] );
+                ( "results",
+                  Obs.Json.List
+                    (List.map (result ~level:"error" ~suppression:None) gating
+                    @ List.map
+                        (result ~level:"note" ~suppression:(Some "external"))
+                        baselined
+                    @ List.map
+                        (result ~level:"note" ~suppression:(Some "inSource"))
+                        suppressed) );
+              ];
+          ] );
+    ]

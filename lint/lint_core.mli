@@ -1,32 +1,17 @@
-(** stellar-lint: AST-level determinism and protocol-purity rules.
+(** stellar-lint reporting spine, shared by both analysis phases.
 
-    The analyzer parses sources with [Pparse] (compiler-libs) and walks
-    the Parsetree with [Ast_iterator]. There is no typing pass, so
-    every rule is a syntactic heuristic, scoped by the file's
-    repo-relative path:
-
-    - D1 — [Hashtbl.iter]/[Hashtbl.fold] whose result can escape in
-      enumeration order. Allowed when an ordering step appears in the
-      same expression: a [List.sort]-family call enclosing or inside
-      the enumeration, or a conversion through a [Set]/[Map] submodule
-      (e.g. folding into [Pid.Map.add]).
-    - D2 — wall-clock and ambient entropy ([Random.self_init],
-      [Unix.gettimeofday], [Unix.time], [Sys.time]) outside [bench/].
-    - D3 — polymorphic [compare]/[(=)]/[(<>)]/[Hashtbl.hash] applied
-      to [Pid.Set]/[Pid.Map]/[Slice] values; use the typed comparators.
-    - D4 — [Marshal] outside the executor library ([lib/sim/pool.ml]
-      and [lib/sim/exec.ml]), and [Obj.*] anywhere.
-    - D5 — float [Printf]/[Format] conversions inside [lib/obs] render
-      paths; JSON floats must go through the [Obs.Json] encoder.
-    - D6 — shared-memory parallelism primitives ([Domain.spawn],
-      [Mutex.*], [Condition.*]) outside [lib/sim/]; parallel work goes
-      through [Simkit.Exec].
-    - M1 — every [lib/] module must have an [.mli].
+    The syntactic phase ({!Rules_syntactic}: D1–D6/M1 over the
+    Parsetree) and the typed phase ({!Rules_typed}: R1/R2/P1/T1 over
+    the Typedtree loaded from .cmt files by {!Loader}) both produce
+    {!finding} values; this module owns the finding shape, the
+    per-site allow comments, the line-keyed baseline, and the JSON and
+    SARIF renderings.
 
     Any finding on line [l] is waived by a
     [(* lint: allow RULE — reason *)] comment on line [l] or [l - 1];
     repo-wide grandfathering goes through [lint/baseline.txt]
-    (matching on {!baseline_key}). *)
+    (matching on {!baseline_key}, which embeds the line number — a
+    baselined finding gates again as soon as its site moves). *)
 
 type finding = {
   file : string;  (** repo-relative path, ['/']-separated *)
@@ -34,6 +19,9 @@ type finding = {
   col : int;
   rule : string;
   message : string;
+  chain : string list;
+      (** interprocedural witness (caller first, source last); [[]]
+          for single-site findings *)
 }
 
 type report = {
@@ -41,12 +29,18 @@ type report = {
   suppressed : finding list;  (** waived by a per-site allow comment *)
 }
 
+val mk :
+  file:string -> line:int -> col:int -> rule:string -> message:string ->
+  finding
+(** A chainless finding. *)
+
 val to_string : finding -> string
-(** ["file:line:col [RULE] message"] — the grep-friendly report line. *)
+(** ["file:line:col [RULE] message"] — the grep-friendly report line;
+    chain-carrying findings append [" (chain: a -> b -> c)"]. *)
 
 val baseline_key : finding -> string
-(** ["file [RULE]"] — the granularity at which [lint/baseline.txt]
-    entries grandfather findings. *)
+(** ["file:line [RULE]"] — the granularity at which
+    [lint/baseline.txt] entries grandfather findings. *)
 
 val compare_finding : finding -> finding -> int
 (** Order by file, then line, column and rule; the report order. *)
@@ -55,12 +49,41 @@ val allowed_rules_of_line : string -> string list
 (** The rule names waived by a [lint: allow] comment on this source
     line; [[]] when the line carries no allow marker. *)
 
-val lint_source : rel:string -> string -> report
-(** [lint_source ~rel path] parses [path] (an [.ml] or [.mli],
-    dispatched on extension) and runs rules D1–D6 scoped as if the
-    file lived at [rel]. Unparseable sources yield a single [PARSE]
-    finding. Both lists come back sorted by {!compare_finding}. *)
+val allows_of_text : string -> (int, string list) Hashtbl.t
+(** Line number (1-based) -> rules allowed on that line. *)
 
-val rule_m1 : ml_files:string list -> mli_files:string list -> finding list
-(** M1 over repo-relative path lists: every [lib/**.ml] without its
-    sibling [.mli]. *)
+val is_allowed : (int, string list) Hashtbl.t -> finding -> bool
+(** Honours {!rule_alias}: an [allow D3] also waives T1, its typed
+    successor. *)
+
+val rule_alias : string -> string option
+(** [rule_alias "T1" = Some "D3"]: the syntactic rule whose allow
+    comments also waive the given typed rule. *)
+
+val apply_allows : root:string -> finding list -> report
+(** Partition findings through the allow comments of their source
+    files, read from disk under [root]; unreadable files carry no
+    allows. Both lists come back sorted by {!compare_finding}. *)
+
+val read_file : string -> string
+
+val load_baseline : string -> string list
+(** Non-comment, non-blank lines of a baseline file; [[]] if the file
+    does not exist. *)
+
+val render_baseline : finding list -> string
+(** The full baseline file contents (header plus one sorted
+    {!baseline_key} per finding) for [--baseline-update]. *)
+
+val finding_json : string -> finding -> Obs.Json.t
+(** [finding_json status f] — one report entry; [status] is
+    ["gating"], ["baselined"] or ["suppressed"]. *)
+
+val sarif_doc :
+  gating:finding list ->
+  baselined:finding list ->
+  suppressed:finding list ->
+  Obs.Json.t
+(** A SARIF 2.1.0 document: gating findings as [error] results,
+    baselined/suppressed ones as [note]s carrying a suppression
+    record ([external]/[inSource]). *)

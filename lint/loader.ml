@@ -1,0 +1,125 @@
+(* Typedtree loading for the --cmt phase.
+
+   Dune already emits a .cmt (typed implementation) and .cmti (typed
+   interface) per module under _build/<context>/**/.objs/byte/; this
+   module walks such a directory, reads them with Cmt_format.read_cmt
+   (compiler-libs, no new dependency) and hands the typed rules a flat
+   list of compilation units plus the per-unit exported value names.
+
+   Canonical names: dune's module mangling joins library and module
+   with "__" ("Cup__Knowledge"); the typer mostly resolves references
+   through the generated alias module instead ("Cup.Knowledge.foo").
+   [split_comps]/[path_comps] normalize both spellings to one
+   component list (["Cup"; "Knowledge"; "foo"]), with the "Stdlib"
+   head dropped so "Stdlib.Hashtbl.t", "Stdlib__Hashtbl.t" and
+   "Hashtbl.t" all compare equal. *)
+
+type unit_info = {
+  modname : string;  (* mangled compilation-unit name, "Cup__Knowledge" *)
+  mod_comps : string list;  (* canonical module path, ["Cup"; "Knowledge"] *)
+  source : string;  (* build-relative source path, "lib/cup/knowledge.ml" *)
+  structure : Typedtree.structure;
+}
+
+type t = {
+  units : unit_info list;
+  exports : (string, string list) Hashtbl.t;  (* modname -> exported values *)
+}
+
+(* "Cup__Knowledge" -> ["Cup"; "Knowledge"]; plain names pass through. *)
+let split_comps name =
+  let n = String.length name in
+  let rec go start i acc =
+    if i + 1 >= n then List.rev (String.sub name start (n - start) :: acc)
+    else if name.[i] = '_' && name.[i + 1] = '_' then
+      let rec past j = if j < n && name.[j] = '_' then past (j + 1) else j in
+      let next = past (i + 2) in
+      go next next (String.sub name start (i - start) :: acc)
+    else go start (i + 1) acc
+  in
+  if n = 0 then [] else go 0 0 []
+
+let canonical comps =
+  let comps =
+    List.filter (fun c -> c <> "") (List.concat_map split_comps comps)
+  in
+  match comps with "Stdlib" :: (_ :: _ as rest) -> rest | comps -> comps
+
+let rec raw_comps p =
+  match p with
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (p, s) -> raw_comps p @ [ s ]
+  | _ -> []
+
+let path_comps p = canonical (raw_comps p)
+
+(* ------------------------------------------------------------------ *)
+(* Directory scan                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk_cmts acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> walk_cmts acc (Filename.concat path entry))
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if
+    Filename.check_suffix path ".cmt" || Filename.check_suffix path ".cmti"
+  then path :: acc
+  else acc
+
+let source_of_cmt (cmt : Cmt_format.cmt_infos) =
+  match cmt.cmt_sourcefile with Some s -> s | None -> ""
+
+let exported_names sg =
+  List.filter_map
+    (fun (item : Typedtree.signature_item) ->
+      match item.sig_desc with
+      | Typedtree.Tsig_value vd -> Some vd.val_name.txt
+      | _ -> None)
+    sg.Typedtree.sig_items
+
+(* [skip] filters on the unit's build-relative source path (fixture
+   corpora, generated alias modules). Units are deduplicated by
+   compilation-unit name, first (alphabetically first path) wins —
+   a module compiled into both a library and an executable counts
+   once. *)
+let load_dir ?(skip = fun _ -> false) dir =
+  let files = List.sort String.compare (walk_cmts [] dir) in
+  let exports = Hashtbl.create 64 in
+  let seen = Hashtbl.create 64 in
+  let units =
+    List.filter_map
+      (fun path ->
+        match Cmt_format.read_cmt path with
+        | exception _ -> None
+        | cmt -> (
+            let source = source_of_cmt cmt in
+            if skip source || Filename.check_suffix source ".ml-gen" then None
+            else
+              match cmt.cmt_annots with
+              | Cmt_format.Interface sg ->
+                  if not (Hashtbl.mem exports cmt.cmt_modname) then
+                    Hashtbl.add exports cmt.cmt_modname (exported_names sg);
+                  None
+              | Cmt_format.Implementation structure ->
+                  if Hashtbl.mem seen cmt.cmt_modname then None
+                  else begin
+                    Hashtbl.add seen cmt.cmt_modname ();
+                    Some
+                      {
+                        modname = cmt.cmt_modname;
+                        mod_comps = split_comps cmt.cmt_modname;
+                        source;
+                        structure;
+                      }
+                  end
+              | _ -> None))
+      files
+  in
+  { units; exports }
+
+let exported t modname =
+  match Hashtbl.find_opt t.exports modname with Some l -> l | None -> []

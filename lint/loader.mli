@@ -1,0 +1,48 @@
+(** Typedtree loading for the [--cmt] phase.
+
+    Walks a build directory for the [.cmt]/[.cmti] files dune already
+    produces, reads them with [Cmt_format.read_cmt] (compiler-libs)
+    and yields the typed implementation of every compilation unit
+    plus the value names its [.mli] exports. *)
+
+type unit_info = {
+  modname : string;
+      (** mangled compilation-unit name, e.g. ["Cup__Knowledge"] *)
+  mod_comps : string list;
+      (** canonical module path, e.g. [["Cup"; "Knowledge"]] *)
+  source : string;
+      (** build-relative source path, e.g. ["lib/cup/knowledge.ml"] —
+          the path findings are reported under *)
+  structure : Typedtree.structure;
+}
+
+type t = {
+  units : unit_info list;
+  exports : (string, string list) Hashtbl.t;
+      (** modname -> value names of its typed interface *)
+}
+
+val load_dir : ?skip:(string -> bool) -> string -> t
+(** [load_dir dir] loads every [.cmt]/[.cmti] below [dir] (in sorted
+    order, deduplicated by unit name). [skip] filters on the unit's
+    source path; generated alias modules ([.ml-gen]) are always
+    skipped. Unreadable files are ignored. *)
+
+val exported : t -> string -> string list
+(** Exported value names of a unit; [[]] when it has no [.cmti]. *)
+
+val split_comps : string -> string list
+(** ["Cup__Knowledge"] -> [["Cup"; "Knowledge"]]; plain names pass
+    through unchanged. *)
+
+val canonical : string list -> string list
+(** Split every component on ["__"] and drop a leading ["Stdlib"], so
+    ["Stdlib.Hashtbl.t"], ["Stdlib__Hashtbl.t"] and ["Hashtbl.t"]
+    compare equal. *)
+
+val raw_comps : Path.t -> string list
+(** The path's components as stored ([Papply]/extra nodes yield
+    [[]]). *)
+
+val path_comps : Path.t -> string list
+(** [canonical (raw_comps p)]. *)

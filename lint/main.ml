@@ -1,15 +1,28 @@
-(* stellar-lint driver: walk the tree, run the rules, apply the
-   baseline, report (optionally as JSON) and gate with the exit code.
+(* stellar-lint driver: a two-phase analyzer.
 
-   Usage: dune exec lint/main.exe -- [--root DIR] [--json FILE]
-            [--baseline FILE] [paths...]
+   Phase 1 (always): parse the sources with compiler-libs and run the
+   syntactic rules D1–D6/M1 (Rules_syntactic).
+
+   Phase 2 (--cmt DIR): load the Typedtree from the .cmt files dune
+   already produced under DIR (CI points it at _build/default) and
+   run the typed rule families R1/R2 (parallel capture safety), P1
+   (interprocedural determinism taint) and T1 (typed polymorphic
+   comparison; supersedes D3, whose syntactic findings are dropped in
+   this mode).
+
+   Usage: dune exec lint/main.exe -- [--root DIR] [--cmt DIR]
+            [--json FILE] [--sarif FILE] [--baseline FILE]
+            [--baseline-update] [paths...]
 
    With no positional paths it scans lib/ bin/ bench/ test/ lint/
    under the root, skipping _build, hidden directories and the lint
-   fixture corpus (whose files violate the rules on purpose). *)
+   fixture corpora (whose files violate the rules on purpose). *)
 
 let default_dirs = [ "lib"; "bin"; "bench"; "test"; "lint" ]
-let skip_dir name = name = "_build" || name = "lint_fixtures" || name.[0] = '.'
+
+let skip_dir name =
+  name = "_build" || name = "lint_fixtures" || name = "typed_fixtures"
+  || name.[0] = '.'
 
 let rec walk acc path rel =
   if Sys.is_directory path then
@@ -28,47 +41,52 @@ let rec walk acc path rel =
   then (rel, path) :: acc
   else acc
 
-let load_baseline path =
-  if not (Sys.file_exists path) then []
-  else
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let rec go acc =
-          match input_line ic with
-          | line ->
-              let line = String.trim line in
-              if line = "" || line.[0] = '#' then go acc else go (line :: acc)
-          | exception End_of_file -> List.rev acc
-        in
-        go [])
+let contains_component ~comp path =
+  List.exists (String.equal comp) (String.split_on_char '/' path)
 
-let finding_json status f =
-  Obs.Json.Obj
-    [
-      ("file", Obs.Json.String f.Lint_core.file);
-      ("line", Obs.Json.Int f.Lint_core.line);
-      ("col", Obs.Json.Int f.Lint_core.col);
-      ("rule", Obs.Json.String f.Lint_core.rule);
-      ("message", Obs.Json.String f.Lint_core.message);
-      ("status", Obs.Json.String status);
-    ]
+(* Typed units whose source belongs to a fixture corpus (compiled on
+   purpose, violating the rules on purpose) never gate the repo run;
+   the typed self-tests load those cmts directly instead. *)
+let skip_typed_source source =
+  source = ""
+  || contains_component ~comp:"lint_fixtures" source
+  || contains_component ~comp:"typed_fixtures" source
+
+let write_out out s =
+  if out = "-" then print_string s
+  else begin
+    let oc = open_out out in
+    output_string oc s;
+    close_out oc
+  end
 
 let () =
   let root = ref "." in
   let json = ref None in
+  let sarif = ref None in
   let baseline = ref None in
+  let baseline_update = ref false in
+  let cmt = ref None in
   let paths = ref [] in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repository root (default .)");
+      ( "--cmt",
+        Arg.String (fun s -> cmt := Some s),
+        "DIR run the typed phase (R1/R2/P1/T1) over the .cmt files below DIR \
+         (e.g. _build/default)" );
       ( "--json",
         Arg.String (fun s -> json := Some s),
         "FILE write a JSON report (- for stdout)" );
+      ( "--sarif",
+        Arg.String (fun s -> sarif := Some s),
+        "FILE write a SARIF 2.1.0 report (- for stdout)" );
       ( "--baseline",
         Arg.String (fun s -> baseline := Some s),
         "FILE baseline file (default ROOT/lint/baseline.txt)" );
+      ( "--baseline-update",
+        Arg.Set baseline_update,
+        " rewrite the baseline file from this run's findings and exit 0" );
     ]
   in
   Arg.parse spec
@@ -84,28 +102,54 @@ let () =
     |> List.sort compare
   in
   let reports =
-    List.map (fun (rel, path) -> Lint_core.lint_source ~rel path) files
+    List.map (fun (rel, path) -> Rules_syntactic.lint_source ~rel path) files
   in
   let rels = List.map fst files in
   let m1 =
-    Lint_core.rule_m1
+    Rules_syntactic.rule_m1
       ~ml_files:(List.filter (fun f -> Filename.check_suffix f ".ml") rels)
       ~mli_files:(List.filter (fun f -> Filename.check_suffix f ".mli") rels)
   in
+  let syntactic_active =
+    m1 @ List.concat_map (fun r -> r.Lint_core.active) reports
+  in
+  let syntactic_suppressed =
+    List.concat_map (fun r -> r.Lint_core.suppressed) reports
+  in
+  (* Typed phase: when it runs, T1 supersedes the D3 head heuristic —
+     the syntactic D3 findings (a strict subset of what T1 derives
+     from resolved types) are dropped rather than double-reported. *)
+  let typed_report, cmt_units =
+    match !cmt with
+    | None -> ({ Lint_core.active = []; suppressed = [] }, 0)
+    | Some dir ->
+        let loaded = Loader.load_dir ~skip:skip_typed_source dir in
+        let findings = Rules_typed.run loaded in
+        (Lint_core.apply_allows ~root:!root findings, List.length loaded.units)
+  in
+  let drop_d3 findings =
+    if !cmt = None then findings
+    else List.filter (fun f -> f.Lint_core.rule <> "D3") findings
+  in
   let active =
     List.sort Lint_core.compare_finding
-      (m1 @ List.concat_map (fun r -> r.Lint_core.active) reports)
+      (drop_d3 syntactic_active @ typed_report.Lint_core.active)
   in
   let suppressed =
     List.sort Lint_core.compare_finding
-      (List.concat_map (fun r -> r.Lint_core.suppressed) reports)
+      (drop_d3 syntactic_suppressed @ typed_report.Lint_core.suppressed)
   in
   let baseline_path =
     match !baseline with
     | Some p -> p
     | None -> Filename.concat !root "lint/baseline.txt"
   in
-  let baseline_entries = load_baseline baseline_path in
+  if !baseline_update then begin
+    write_out baseline_path (Lint_core.render_baseline active);
+    Printf.printf "stellar-lint: baseline %s rewritten with %d entries\n"
+      baseline_path (List.length active)
+  end;
+  let baseline_entries = Lint_core.load_baseline baseline_path in
   let baselined, gating =
     List.partition
       (fun f -> List.mem (Lint_core.baseline_key f) baseline_entries)
@@ -113,9 +157,12 @@ let () =
   in
   List.iter (fun f -> print_endline (Lint_core.to_string f)) gating;
   Printf.printf
-    "stellar-lint: %d files, %d findings (%d suppressed, %d baselined), %d \
+    "stellar-lint: %d files%s, %d findings (%d suppressed, %d baselined), %d \
      gating\n"
     (List.length files)
+    (match !cmt with
+    | None -> ""
+    | Some _ -> Printf.sprintf " + %d typed units" cmt_units)
     (List.length active + List.length suppressed)
     (List.length suppressed) (List.length baselined) (List.length gating);
   (match !json with
@@ -124,13 +171,14 @@ let () =
       let doc =
         Obs.Json.Obj
           [
-            ("version", Obs.Json.Int 1);
+            ("version", Obs.Json.Int 2);
             ("files_scanned", Obs.Json.Int (List.length files));
+            ("typed_units", Obs.Json.Int cmt_units);
             ( "findings",
               Obs.Json.List
-                (List.map (finding_json "gating") gating
-                @ List.map (finding_json "baselined") baselined
-                @ List.map (finding_json "suppressed") suppressed) );
+                (List.map (Lint_core.finding_json "gating") gating
+                @ List.map (Lint_core.finding_json "baselined") baselined
+                @ List.map (Lint_core.finding_json "suppressed") suppressed) );
             ( "summary",
               Obs.Json.Obj
                 [
@@ -140,11 +188,10 @@ let () =
                 ] );
           ]
       in
-      let s = Obs.Json.to_string doc ^ "\n" in
-      if out = "-" then print_string s
-      else begin
-        let oc = open_out out in
-        output_string oc s;
-        close_out oc
-      end);
-  if gating <> [] then exit 1
+      write_out out (Obs.Json.to_string doc ^ "\n"));
+  (match !sarif with
+  | None -> ()
+  | Some out ->
+      let doc = Lint_core.sarif_doc ~gating ~baselined ~suppressed in
+      write_out out (Obs.Json.to_string doc ^ "\n"));
+  if gating <> [] && not !baseline_update then exit 1

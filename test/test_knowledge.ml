@@ -69,7 +69,7 @@ let test_non_sink_members_never_declare () =
       Alcotest.(check bool)
         (Printf.sprintf "non-sink %d undeclared" i)
         true
-        (Knowledge.sink_result (machine net i) = None))
+        (Option.is_none (Knowledge.sink_result (machine net i))))
     (Pid.Set.diff (Digraph.vertices Builtin.fig1) Builtin.fig1_sink)
 
 let test_non_sink_vouching_is_conservative () =

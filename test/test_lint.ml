@@ -1,12 +1,16 @@
-(* stellar-lint self-tests: every rule fires on its positive fixture
-   and stays silent on the negative one, per-site allow comments
-   suppress, and the path scoping (bench/, lib/obs/, the lib/sim
-   executor library) is honoured. Fixtures are parsed by compiler-libs
-   only — they are never compiled, so they can violate the rules
-   freely. *)
+(* stellar-lint self-tests, syntactic phase: every rule fires on its
+   positive fixture and stays silent on the negative one, per-site
+   allow comments suppress, and the path scoping (bench/, lib/obs/,
+   the lib/sim executor library) is honoured. Fixtures are parsed by
+   compiler-libs only — they are never compiled, so they can violate
+   the rules freely. The typed phase (R1/R2/P1/T1) is covered by
+   Test_lint_typed over the compiled typed_fixtures corpus. *)
 
 let fx name = Filename.concat "lint_fixtures" name
-let run ?(rel = "lib/cup/fixture.ml") name = Lint_core.lint_source ~rel (fx name)
+
+let run ?(rel = "lib/cup/fixture.ml") name =
+  Rules_syntactic.lint_source ~rel (fx name)
+
 let brief (f : Lint_core.finding) = (f.line, f.rule)
 
 let check_active msg expected (report : Lint_core.report) =
@@ -77,12 +81,12 @@ let test_m1 () =
     [ ("lib/m1_pos/lonely.ml", "M1") ]
     (List.map
        (fun (f : Lint_core.finding) -> (f.file, f.rule))
-       (Lint_core.rule_m1 ~ml_files:mls ~mli_files:mlis));
+       (Rules_syntactic.rule_m1 ~ml_files:mls ~mli_files:mlis));
   Alcotest.(check (list (pair string string)))
     "bin/ modules never need an mli" []
     (List.map
        (fun (f : Lint_core.finding) -> (f.file, f.rule))
-       (Lint_core.rule_m1 ~ml_files:[ "bin/cli.ml" ] ~mli_files:[]))
+       (Rules_syntactic.rule_m1 ~ml_files:[ "bin/cli.ml" ] ~mli_files:[]))
 
 let test_allow_parsing () =
   Alcotest.(check (list string))
@@ -92,20 +96,55 @@ let test_allow_parsing () =
     "no marker" []
     (Lint_core.allowed_rules_of_line "let x = 1")
 
+let test_alias_allow () =
+  (* T1 supersedes D3, so an existing [allow D3] waives T1 too. *)
+  let allows = Hashtbl.create 4 in
+  Hashtbl.replace allows 7 [ "D3" ];
+  let t1 =
+    Lint_core.mk ~file:"lib/cup/x.ml" ~line:7 ~col:0 ~rule:"T1" ~message:"m"
+  in
+  Alcotest.(check bool) "allow D3 waives T1" true (Lint_core.is_allowed allows t1);
+  Alcotest.(check bool)
+    "allow D3 does not waive R1" false
+    (Lint_core.is_allowed allows { t1 with rule = "R1" })
+
 let test_report_line () =
   let f =
-    {
-      Lint_core.file = "lib/cup/x.ml";
-      line = 9;
-      col = 2;
-      rule = "D1";
-      message = "m";
-    }
+    Lint_core.mk ~file:"lib/cup/x.ml" ~line:9 ~col:2 ~rule:"D1" ~message:"m"
   in
   Alcotest.(check string)
     "grep-friendly line" "lib/cup/x.ml:9:2 [D1] m" (Lint_core.to_string f);
   Alcotest.(check string)
-    "baseline key" "lib/cup/x.ml [D1]" (Lint_core.baseline_key f)
+    "chain rendered" "lib/cup/x.ml:9:2 [P1] m (chain: a -> b)"
+    (Lint_core.to_string { f with rule = "P1"; chain = [ "a"; "b" ] });
+  Alcotest.(check string)
+    "baseline key carries the line" "lib/cup/x.ml:9 [D1]"
+    (Lint_core.baseline_key f)
+
+let test_baseline_regates () =
+  (* The point of the line-keyed format: a baselined finding stops
+     matching — and gates again — as soon as its site moves. *)
+  let f =
+    Lint_core.mk ~file:"lib/cup/x.ml" ~line:9 ~col:2 ~rule:"D1" ~message:"m"
+  in
+  let baseline = [ Lint_core.baseline_key f ] in
+  Alcotest.(check bool)
+    "unmoved finding stays baselined" true
+    (List.mem (Lint_core.baseline_key f) baseline);
+  Alcotest.(check bool)
+    "moved finding gates again" false
+    (List.mem (Lint_core.baseline_key { f with line = 10 }) baseline);
+  (* --baseline-update regenerates exactly these keys, sorted. *)
+  let g = { f with file = "lib/cup/a.ml"; rule = "T1" } in
+  let rendered = Lint_core.render_baseline [ f; g ] in
+  let body =
+    String.split_on_char '\n' rendered
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '#')
+  in
+  Alcotest.(check (list string))
+    "render_baseline emits sorted keys"
+    [ "lib/cup/a.ml:9 [T1]"; "lib/cup/x.ml:9 [D1]" ]
+    body
 
 let suites =
   [
@@ -121,7 +160,10 @@ let suites =
           test_d6;
         Alcotest.test_case "M1 missing mli" `Quick test_m1;
         Alcotest.test_case "allow-comment parsing" `Quick test_allow_parsing;
+        Alcotest.test_case "allow D3 also waives T1" `Quick test_alias_allow;
         Alcotest.test_case "report and baseline formats" `Quick
           test_report_line;
+        Alcotest.test_case "line-keyed baseline re-gates on move" `Quick
+          test_baseline_regates;
       ] );
   ]

@@ -235,7 +235,7 @@ let test_replies_below_threshold () =
   let replies = Pid.Map.add 10 a Pid.Map.empty in
   Alcotest.(check bool)
     "one echo is not enough at f = 1" true
-    (Sink_protocol.resolve_replies ~f:1 replies = None)
+    (Option.is_none (Sink_protocol.resolve_replies ~f:1 replies))
 
 let suites =
   [

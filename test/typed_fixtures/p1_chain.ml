@@ -1,0 +1,9 @@
+(* P1 fixture: [stamp] is exported by the .mli and reaches
+   Unix.gettimeofday only transitively, two hops deep —
+   stamp -> helper -> P1_clock.wall -> Unix.gettimeofday. *)
+
+let helper () = P1_clock.wall () +. 1.0
+
+let stamp () = helper () *. 2.0
+
+let pure x = x + 1

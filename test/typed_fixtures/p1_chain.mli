@@ -1,0 +1,6 @@
+val stamp : unit -> float
+(** Tainted: reaches [Unix.gettimeofday] through [helper] and
+    [P1_clock.wall]; the P1 fixture expects the full chain. *)
+
+val pure : int -> int
+(** Untainted control. *)

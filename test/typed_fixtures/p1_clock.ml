@@ -1,0 +1,5 @@
+(* The entropy source for the P1 fixture chain. No .mli on purpose:
+   [wall] itself is unexported, so P1 must walk the call graph up to
+   [P1_chain.stamp] to find something to report. *)
+
+let wall () = Unix.gettimeofday ()

@@ -1,0 +1,12 @@
+(* Toplevel mutable state for the R2 fixture: [R1_cases.via_module]
+   routes parallel jobs into [bump], so the typed pass must flag
+   [counter] as job-reachable. [limit] is immutable and must not be
+   flagged. *)
+
+let counter = ref 0
+
+let limit = 100
+
+let bump x =
+  incr counter;
+  x + !counter + limit

@@ -1,0 +1,22 @@
+(* T1 fixtures: polymorphic comparison on a sensitive type hidden
+   behind an alias. The syntactic D3 judges argument heads only, so
+   every site below is provably invisible to it — the companion test
+   asserts D3 stays silent on this file while T1 fires. *)
+
+type key = Graphkit.Pid.Set.t
+
+(* T1-positive: structural equality on an aliased Pid.Set.t. *)
+let same (a : key) (b : key) = a = b
+
+(* T1-positive: partial application — [compare] never syntactically
+   touches a Set-headed argument. *)
+let order (xs : key list) = List.sort compare xs
+
+(* T1-positive: polymorphic hash on the alias. *)
+let hash_of (k : key) = Hashtbl.hash k
+
+(* T1-negative: the dedicated comparator. *)
+let ok (a : key) (b : key) = Graphkit.Pid.Set.equal a b
+
+(* T1-negative: polymorphic compare on a non-sensitive type. *)
+let ints (a : int) (b : int) = compare a b
