@@ -29,7 +29,9 @@
    Every mode accepts a trailing [--jobs N] (default 1; sweep defaults
    to 4): experiment samples are then farmed out to Simkit.Exec — a
    pool of N domains on OCaml 5, N forked worker processes otherwise.
-   The tables are byte-identical for every N and on either backend.
+   When --jobs is absent, STELLAR_CUP_JOBS supplies the default (the
+   same precedence as every CLI --jobs flag). The tables are
+   byte-identical for every N and on either backend.
 
    One experiment table per paper artifact (figures, algorithms,
    theorems — see DESIGN.md §5), plus Bechamel microbenches for the hot
@@ -325,6 +327,69 @@ let bench_analysis_blocking_stellarbeat =
     (Staged.stage (fun () ->
          ignore (Fbqs.Enum.minimal_blocking_sets (Fbqs.Enum.prepare sys))))
 
+let subject_minq_parallel_stellarbeat =
+  "analysis/min-quorums-parallel stellarbeat n=46"
+
+let subject_splitting_stellarbeat =
+  "analysis/splitting-sequential stellarbeat n=46"
+
+let subject_splitting_parallel_stellarbeat =
+  "analysis/splitting-parallel stellarbeat n=46"
+
+(* The frontier-sharded searches against their own sequential rows on
+   the same topology. On the CI 4-core runners the parallel rows run on
+   a warm worker pool; on a 1-core machine they collapse to the inline
+   path, so the pair also tracks the sharding overhead floor. *)
+let bench_analysis_minq_parallel_stellarbeat =
+  let sys = small_stellarbeat () in
+  Test.make ~name:subject_minq_parallel_stellarbeat
+    (Staged.stage (fun () ->
+         ignore (Fbqs.Enum.minimal_quorums ~jobs:4 (Fbqs.Enum.prepare sys))))
+
+let bench_analysis_splitting_stellarbeat =
+  let sys = small_stellarbeat () in
+  Test.make ~name:subject_splitting_stellarbeat
+    (Staged.stage (fun () ->
+         ignore
+           (Fbqs.Enum.minimal_splitting_sets ~max_size:2
+              (Fbqs.Enum.prepare sys))))
+
+let bench_analysis_splitting_parallel_stellarbeat =
+  let sys = small_stellarbeat () in
+  Test.make ~name:subject_splitting_parallel_stellarbeat
+    (Staged.stage (fun () ->
+         ignore
+           (Fbqs.Enum.minimal_splitting_sets ~max_size:2 ~jobs:4
+              (Fbqs.Enum.prepare sys))))
+
+let subject_exec_warm = "exec/map-warm-pool x32"
+let subject_exec_cold = "exec/map-cold-spawn x32"
+
+(* The persistent pool against the seed's spawn-per-call behaviour:
+   the cold subject tears the pool down before every map, so each
+   iteration pays worker startup exactly as every map did before the
+   pool was made persistent. The workload is pure arithmetic — the gap
+   between the rows is dispatch and spawn cost, nothing else. *)
+let exec_spin x =
+  let acc = ref x in
+  for _ = 1 to 20_000 do
+    acc := ((!acc * 1103515245) + 12345) land 0x3FFFFFFF
+  done;
+  !acc
+
+let exec_inputs = List.init 32 Fun.id
+
+let bench_exec_warm =
+  Test.make ~name:subject_exec_warm
+    (Staged.stage (fun () ->
+         ignore (Simkit.Exec.map ~jobs:4 exec_spin exec_inputs)))
+
+let bench_exec_cold =
+  Test.make ~name:subject_exec_cold
+    (Staged.stage (fun () ->
+         Simkit.Exec.Pool.shutdown ();
+         ignore (Simkit.Exec.map ~jobs:4 exec_spin exec_inputs)))
+
 let subject_engine_send_notrace = "engine/send-notrace x1000"
 let subject_engine_send_alloc = "engine/send-alloc-baseline x1000"
 
@@ -440,6 +505,11 @@ let microbenches () =
       bench_analysis_minq_stellarbeat;
       bench_analysis_intersection_stellarbeat;
       bench_analysis_blocking_stellarbeat;
+      bench_analysis_minq_parallel_stellarbeat;
+      bench_analysis_splitting_stellarbeat;
+      bench_analysis_splitting_parallel_stellarbeat;
+      bench_exec_warm;
+      bench_exec_cold;
       bench_engine_send_notrace;
       bench_engine_send_alloc_baseline;
       bench_parse_roundtrip;
@@ -462,6 +532,9 @@ let analysis_subjects =
     subject_minq_stellarbeat;
     subject_inter_stellarbeat;
     subject_blocking_stellarbeat;
+    subject_minq_parallel_stellarbeat;
+    subject_splitting_stellarbeat;
+    subject_splitting_parallel_stellarbeat;
   ]
 
 let strip_group name =
@@ -527,7 +600,11 @@ let write_analysis_json rows =
         | Some s, Some b when s > 0. && not (Float.is_nan b) ->
             Some (subject, baseline, b /. s)
         | _ -> None)
-      [ (subject_minq_bb, subject_minq_gosper) ]
+      [
+        (subject_minq_bb, subject_minq_gosper);
+        (subject_minq_parallel_stellarbeat, subject_minq_stellarbeat);
+        (subject_splitting_parallel_stellarbeat, subject_splitting_stellarbeat);
+      ]
   in
   let oc = open_out analysis_json_file in
   let out fmt = Printf.fprintf oc fmt in
@@ -578,6 +655,7 @@ let write_bench_json all_rows =
         (subject_inter_cardinal_dense, subject_inter_cardinal_tree);
         (subject_dset_check, subject_dset_enum_baseline);
         (subject_engine_send_notrace, subject_engine_send_alloc);
+        (subject_exec_warm, subject_exec_cold);
         (subject_event_heap, subject_event_queue);
         (subject_scc_csr, subject_scc_tree);
         (subject_reach_csr, subject_reach_tree);
@@ -991,7 +1069,14 @@ let () =
     incr i
   done;
   let mode = match List.rev !positional with m :: _ -> m | [] -> "all" in
-  let jobs_or default = max 1 (Option.value ~default !jobs) in
+  (* Precedence mirrors the CLI: an explicit --jobs wins, then
+     STELLAR_CUP_JOBS, then the mode's own default. *)
+  let jobs_or default =
+    let default =
+      Option.value ~default (Simkit.Exec.jobs_from_env ())
+    in
+    max 1 (Option.value ~default !jobs)
+  in
   match mode with
   | "exp" -> run_experiments ~markdown:false ~jobs:(jobs_or 1)
   | "markdown" -> run_experiments ~markdown:true ~jobs:(jobs_or 1)

@@ -70,13 +70,21 @@ let faulty_term =
 let json_term =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
+let jobs_env =
+  Cmd.Env.info Simkit.Exec.jobs_env_var
+    ~doc:
+      "Default worker count for every --jobs flag (CLI, daemon, bench). An \
+       explicit --jobs always wins."
+
 let jobs_term =
   Arg.(
-    value & opt int 1
-    & info [ "jobs" ] ~docv:"N"
+    value
+    & opt int 1
+    & info [ "jobs" ] ~docv:"N" ~env:jobs_env
         ~doc:"Workers for independent sub-runs (experiment samples, \
-              --samples sweeps): domains on OCaml 5, forked processes \
-              otherwise. Output is byte-identical to --jobs 1; \
+              --samples sweeps, FBAS search shards): domains on OCaml 5, \
+              forked processes otherwise, parked in a persistent pool \
+              between batches. Output is byte-identical to --jobs 1; \
               parallelism only buys wall-clock.")
 
 (* ---- observability plumbing ------------------------------------------- *)
@@ -495,7 +503,7 @@ let load_system path =
   | Error e -> failwith (Printf.sprintf "cannot read %s: %s" path e)
 
 let fbas_analyze file despite_ids blocking splitting max_size cap want_metrics
-    json =
+    jobs json =
   let sys = load_system file in
   let opts =
     {
@@ -505,6 +513,7 @@ let fbas_analyze file despite_ids blocking splitting max_size cap want_metrics
       max_size;
       cap;
       metrics = want_metrics;
+      jobs = max 1 jobs;
     }
   in
   let a = Serve.Api.analyze opts sys in
@@ -597,7 +606,7 @@ let fbas_analyze_cmd =
              by branch-and-bound enumeration")
     Term.(
       const fbas_analyze $ fbas_file_term $ despite $ blocking $ splitting
-      $ max_size $ cap $ metrics_term $ json_term)
+      $ max_size $ cap $ metrics_term $ jobs_term $ json_term)
 
 let fbas_gen output orgs vpo mid leaves seed json =
   let sys =
@@ -673,14 +682,14 @@ let fbas_cmd =
 
 (* ---- serve ------------------------------------------------------------- *)
 
-let serve stdio socket cache_capacity =
-  let daemon = Serve.Daemon.create ?cache_capacity () in
+let serve stdio socket cache_capacity jobs max_clients =
+  let daemon = Serve.Daemon.create ?cache_capacity ~jobs:(max 1 jobs) () in
   match (stdio, socket) with
   | true, Some _ -> failwith "--stdio and --socket are mutually exclusive"
   | true, None | false, None -> Serve.Daemon.serve_stdio daemon
   | false, Some path ->
       Format.eprintf "stellar-cup serve: listening on %s@." path;
-      Serve.Daemon.serve_unix daemon ~path
+      Serve.Daemon.serve_unix ~max_clients daemon ~path
 
 let serve_cmd =
   let stdio =
@@ -695,8 +704,9 @@ let serve_cmd =
       value
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
-          ~doc:"Listen on a Unix domain socket at $(docv), one client at a \
-                time, until a client sends the shutdown verb.")
+          ~doc:"Listen on a Unix domain socket at $(docv), serving up to \
+                --max-clients connections concurrently, until a client \
+                sends the shutdown verb.")
   in
   let cache_capacity =
     Arg.(
@@ -707,13 +717,31 @@ let serve_cmd =
                 compiled-handle caches (default: \
                 \\$STELLAR_CUP_CACHE_CAPACITY if set, else 64).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs" ] ~docv:"N" ~env:jobs_env
+          ~doc:"Default Enum parallelism for analyze requests (a request's \
+                own jobs field overrides it). Payloads are byte-identical \
+                at every jobs count.")
+  in
+  let max_clients =
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_max_clients
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Socket connections served concurrently (--socket only; the \
+                stdio transport stays strictly sequential).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the analysis service daemon: newline-delimited JSON \
              requests (ping, version, analyze, run, stats, shutdown) in, \
              versioned report envelopes out, with shared compiled-handle \
-             caches across requests")
-    Term.(const serve $ stdio $ socket $ cache_capacity)
+             caches and one persistent worker pool across requests and \
+             clients")
+    Term.(const serve $ stdio $ socket $ cache_capacity $ jobs $ max_clients)
 
 (* ---- command wiring ---------------------------------------------------- *)
 

@@ -24,6 +24,15 @@
     All outputs are in a canonical deterministic order (ascending
     cardinality, then {!Pid.Set.compare}), so reports are byte-stable.
 
+    Every entry point takes [?jobs] (default 1): with [jobs > 1] the
+    search tree is cut at a fixed frontier depth and the independent
+    subtrees run through {!Simkit.Exec.map} on the persistent worker
+    pool. The canonical ordering makes the merged output independent
+    of the partition and per-subtree tick deltas are summed back into
+    the analyzer, so results, [stats] and driven metrics are
+    byte-identical at every [jobs] count, on both executor backends.
+    See DESIGN.md §18.
+
     Systems naming negative pids fall back to the brute-force
     reference paths (guarded to 20 participants), mirroring the
     {!Quorum.Compiled} and {!Graphkit.Csr} fallback contracts.
@@ -53,10 +62,11 @@ val system : t -> Quorum.system
 val stats : t -> stats
 (** Cumulative counters for this analyzer value. *)
 
-val minimal_quorums : t -> Pid.Set.t list
-(** All inclusion-minimal quorums, in canonical order. Cached. *)
+val minimal_quorums : ?jobs:int -> t -> Pid.Set.t list
+(** All inclusion-minimal quorums, in canonical order. Cached (so
+    [jobs] only matters on the first call per analyzer). *)
 
-val top_tier : t -> Pid.Set.t
+val top_tier : ?jobs:int -> t -> Pid.Set.t
 (** Union of all minimal quorums: the nodes that matter for
     consensus. *)
 
@@ -64,18 +74,21 @@ type intersection =
   | Intersects  (** every two quorums share a node (vacuous if none) *)
   | Disjoint of Pid.Set.t * Pid.Set.t  (** a witness pair *)
 
-val check_intersection : t -> intersection
-(** Decides quorum intersection with early exit: enumeration stops at
-    the first minimal quorum whose complement still contains a quorum
-    (any disjoint pair can be shrunk so that one side is minimal). Two
-    distinct quorum-bearing SCCs short-circuit to [Disjoint] without
-    any search. *)
+val check_intersection : ?jobs:int -> t -> intersection
+(** Decides quorum intersection. Two distinct quorum-bearing SCCs
+    short-circuit to [Disjoint] without any search; otherwise the
+    minimal quorums are enumerated (parallel with [jobs > 1], and
+    cached for later calls) and each is tested for a quorum surviving
+    in its complement — any disjoint pair can be shrunk so that one
+    side is minimal, so the scan is exact. The witness is the first
+    such quorum in canonical order, independent of [jobs]. *)
 
-val quorum_intersection : ?metrics:Obs.Metrics.t -> Quorum.system -> intersection
+val quorum_intersection :
+  ?metrics:Obs.Metrics.t -> ?jobs:int -> Quorum.system -> intersection
 (** One-shot [check_intersection] on a freshly prepared system. *)
 
 val quorum_intersection_despite :
-  ?metrics:Obs.Metrics.t -> Quorum.system -> Pid.Set.t -> bool
+  ?metrics:Obs.Metrics.t -> ?jobs:int -> Quorum.system -> Pid.Set.t -> bool
 (** Intersection of [Quorum.delete sys b] — the scalable engine behind
     {!Dset.quorum_intersection_despite}. *)
 
@@ -84,17 +97,20 @@ type blocking = {
   complete : bool;  (** [false] iff the [limit] cut enumeration short *)
 }
 
-val minimal_blocking_sets : ?limit:int -> t -> blocking
+val minimal_blocking_sets : ?limit:int -> ?jobs:int -> t -> blocking
 (** Inclusion-minimal sets whose failure leaves no functioning quorum.
     Availability is judged on the original system, so these are
     exactly the minimal hitting sets of the minimal-quorum family,
     enumerated by branch-and-bound (each set reached once). [limit]
-    caps the number of sets returned (default: unlimited). *)
+    caps the number of sets returned (default: unlimited); a finite
+    [limit] forces the sequential path, because which sets survive a
+    truncation depends on discovery order. *)
 
 val minimal_splitting_sets :
   ?metrics:Obs.Metrics.t ->
   ?universe:Pid.Set.t ->
   ?max_size:int ->
+  ?jobs:int ->
   t ->
   Pid.Set.t list
 (** Inclusion-minimal sets whose deletion breaks quorum intersection.
@@ -105,4 +121,9 @@ val minimal_splitting_sets :
     universe. Exponential in [|universe|]: [max_size] (default
     [|universe|]) bounds the sweep for live-scale systems. Returns
     [[∅]] when intersection already fails with nothing deleted.
+    With [jobs > 1] each cardinality layer's candidates are checked
+    in parallel (they are independent: a candidate can only be a
+    superset of a strictly smaller splitting set), and when [metrics]
+    is given the per-candidate tick deltas are replayed into it in
+    candidate order — identical counters at every [jobs] count.
     @raise Invalid_argument when the universe exceeds 62 pids. *)

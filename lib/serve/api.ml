@@ -112,6 +112,7 @@ type analysis_options = {
   max_size : int option;
   cap : int;
   metrics : bool;
+  jobs : int;
 }
 
 let default_analysis_options =
@@ -122,6 +123,7 @@ let default_analysis_options =
     max_size = None;
     cap = 64;
     metrics = false;
+    jobs = 1;
   }
 
 type analysis = {
@@ -137,25 +139,32 @@ type analysis = {
 }
 
 let analyze opts sys =
+  (* [opts.jobs] moves wall-clock only: every Enum entry point is
+     byte-identical at every jobs count, and the payload never
+     mentions jobs, so reports stay comparable across executors. *)
+  let jobs = opts.jobs in
   let metrics = if opts.metrics then Some (Obs.Metrics.create ()) else None in
   let t = Fbqs.Enum.prepare ?metrics sys in
   let participants = Fbqs.Quorum.participants sys in
-  let minimal_quorums = Fbqs.Enum.minimal_quorums t in
-  let intersection = Fbqs.Enum.check_intersection t in
-  let top_tier = Fbqs.Enum.top_tier t in
+  let minimal_quorums = Fbqs.Enum.minimal_quorums ~jobs t in
+  let intersection = Fbqs.Enum.check_intersection ~jobs t in
+  let top_tier = Fbqs.Enum.top_tier ~jobs t in
   let blocking_sets =
-    if opts.blocking then Some (Fbqs.Enum.minimal_blocking_sets t) else None
+    if opts.blocking then Some (Fbqs.Enum.minimal_blocking_sets ~jobs t)
+    else None
   in
   let splitting_sets =
     if opts.splitting then
-      Some (Fbqs.Enum.minimal_splitting_sets ?metrics ?max_size:opts.max_size t)
+      Some
+        (Fbqs.Enum.minimal_splitting_sets ?metrics ?max_size:opts.max_size
+           ~jobs t)
     else None
   in
   let despite_checks =
     List.map
       (fun ids ->
         let b = Pid.Set.of_list ids in
-        (b, Fbqs.Enum.quorum_intersection_despite ?metrics sys b))
+        (b, Fbqs.Enum.quorum_intersection_despite ?metrics ~jobs sys b))
       opts.despite
   in
   {

@@ -76,10 +76,15 @@ type analysis_options = {
   max_size : int option;  (** splitting-sweep candidate-size bound *)
   cap : int;  (** sets listed per family in reports (counts stay exact) *)
   metrics : bool;  (** collect a fresh per-analysis metrics registry *)
+  jobs : int;
+      (** parallel workers for the Enum searches — wall-clock only,
+          the payload is byte-identical at every jobs count and never
+          mentions it *)
 }
 
 val default_analysis_options : analysis_options
-(** No extras, cap 64, no metrics — the CLI's flag defaults. *)
+(** No extras, cap 64, no metrics, jobs 1 — the CLI's flag
+    defaults. *)
 
 type analysis = {
   participants : Pid.Set.t;

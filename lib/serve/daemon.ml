@@ -1,12 +1,17 @@
 (* The analysis service daemon.
 
-   One single-threaded request loop reading newline-delimited JSON
-   requests and writing newline-delimited {!Core.Report} envelopes —
-   over stdin/stdout for CI pipelines, or over a Unix domain socket
-   for long-lived local service. Determinism is the contract: the
-   response stream is a pure function of the request stream, except
-   for the [stats] verb, which intentionally reports the accumulated
-   cache counters (warm versus cold runs differ exactly there).
+   A request loop reading newline-delimited JSON requests and writing
+   newline-delimited {!Core.Report} envelopes — over stdin/stdout for
+   CI pipelines (strictly sequential, so golden replays stay
+   byte-stable), or over a Unix domain socket where up to
+   [max_clients] connections are served concurrently off the shared
+   {!Simkit.Exec} pool. Determinism is the contract: per connection,
+   the response stream is a pure function of the request stream,
+   except for the [stats] verb, which intentionally reports the
+   accumulated cache and pool counters (warm versus cold runs differ
+   exactly there). Shared daemon state (request/client counters, the
+   caches) moves under {!Simkit.Exec.protect}, the one sanctioned
+   mutual-exclusion seam outside lib/sim.
 
    Three caches cooperate:
    - the shared compiled-handle caches ({!Fbqs.Quorum.compiled_of},
@@ -35,8 +40,11 @@ type cached = {
 type t = {
   files : (string, Fbqs.Quorum.system) Core.Cache.t;
   responses : (string, cached) Core.Cache.t;
+  jobs : int;  (* default Enum parallelism for [analyze] *)
   mutable requests : int;
   mutable stopping : bool;
+  mutable active_clients : int;  (* socket connections being served *)
+  mutable clients_served : int;  (* socket connections completed *)
 }
 
 let default_capacity = 64
@@ -46,7 +54,7 @@ let capacity_from_env () =
   | None -> None
   | Some s -> int_of_string_opt (String.trim s)
 
-let create ?cache_capacity () =
+let create ?cache_capacity ?(jobs = 1) () =
   let capacity =
     match cache_capacity with
     | Some n -> n
@@ -61,8 +69,11 @@ let create ?cache_capacity () =
     responses =
       Core.Cache.create ~equal:String.equal ~name:"serve_responses" ~capacity
         ();
+    jobs = max 1 jobs;
     requests = 0;
     stopping = false;
+    active_clients = 0;
+    clients_served = 0;
   }
 
 (* ---- request decoding ------------------------------------------------- *)
@@ -142,6 +153,15 @@ let stats_payload t =
   J.Obj
     [
       ("requests", J.Int t.requests);
+      ( "pool",
+        J.Obj
+          [
+            ("workers", J.Int (Simkit.Exec.Pool.size ()));
+            ("peak_workers", J.Int (Simkit.Exec.Pool.peak ()));
+            ("batches", J.Int (Simkit.Exec.Pool.batches ()));
+            ("active_clients", J.Int t.active_clients);
+            ("clients_served", J.Int t.clients_served);
+          ] );
       ( "caches",
         J.Obj
           [
@@ -170,6 +190,10 @@ let analyze_verb t fields =
       max_size = opt_int_field fields "max_size";
       cap = int_field fields "cap" ~default:64;
       metrics = bool_field fields "metrics" ~default:false;
+      (* Per-request override of the daemon's default parallelism.
+         Payloads are jobs-invariant, so requests differing only here
+         cache under different keys yet answer identically. *)
+      jobs = max 1 (int_field fields "jobs" ~default:t.jobs);
     }
   in
   let sys = load_system t path in
@@ -257,7 +281,7 @@ let cache_key fields =
 
 let dispatch t fields =
   let id = Option.value ~default:J.Null (field fields "id") in
-  t.requests <- t.requests + 1;
+  Simkit.Exec.protect (fun () -> t.requests <- t.requests + 1);
   match field fields "verb" with
   | Some (J.String verb) -> (
       (* Only engine work is cached; failures are not (a missing file
@@ -286,7 +310,7 @@ let dispatch t fields =
         | "version" -> ok_lines ~id ~verb ~trace:[] version_payload
         | "stats" -> ok_lines ~id ~verb ~trace:[] (stats_payload t)
         | "shutdown" ->
-            t.stopping <- true;
+            Simkit.Exec.protect (fun () -> t.stopping <- true);
             ok_lines ~id ~verb ~trace:[] (J.Obj [ ("stopping", J.Bool true) ])
         | "analyze" -> cacheable (fun () -> analyze_verb t fields)
         | "run" -> cacheable (fun () -> run_verb fields)
@@ -303,11 +327,11 @@ let handle_line t line =
   else
     match J.of_string line with
     | Error e ->
-        t.requests <- t.requests + 1;
+        Simkit.Exec.protect (fun () -> t.requests <- t.requests + 1);
         error_lines ~id:J.Null ~verb:J.Null ("parse error: " ^ e)
     | Ok (J.Obj fields) -> dispatch t fields
     | Ok _ ->
-        t.requests <- t.requests + 1;
+        Simkit.Exec.protect (fun () -> t.requests <- t.requests + 1);
         error_lines ~id:J.Null ~verb:J.Null "request must be a JSON object"
 
 let stopping t = t.stopping
@@ -331,26 +355,77 @@ let serve_channels t ic oc =
 
 let serve_stdio t = serve_channels t stdin stdout
 
-let serve_unix t ~path =
+let default_max_clients = 4
+
+let serve_unix ?(max_clients = default_max_clients) t ~path =
+  let max_clients = max 1 max_clients in
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 1;
+  Unix.listen sock max_clients;
+  (* Each accepted connection is handed to a detached executor task
+     (a domain of its own on OCaml 5; run inline on 4.14, which
+     degrades to the historical one-client-at-a-time loop). Requests
+     from one connection are answered in order on that connection;
+     concurrent connections share the caches and the worker pool. *)
+  let tasks = ref [] in
+  let reap ~wait =
+    tasks :=
+      List.filter
+        (fun (task, finished) ->
+          if wait || !finished then begin
+            Simkit.Exec.join_task task;
+            false
+          end
+          else true)
+        !tasks
+  in
+  let handle client () =
+    Fun.protect
+      ~finally:(fun () ->
+        Simkit.Exec.protect (fun () ->
+            t.active_clients <- t.active_clients - 1;
+            t.clients_served <- t.clients_served + 1))
+      (fun () ->
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        (try serve_channels t ic oc with Sys_error _ -> ());
+        try Unix.close client with Unix.Unix_error _ -> ())
+  in
   let rec accept_loop () =
-    if not t.stopping then begin
-      let client, _ = Unix.accept sock in
-      let ic = Unix.in_channel_of_descr client in
-      let oc = Unix.out_channel_of_descr client in
-      (* One client at a time: the daemon is single-threaded by
-         design, so concurrent clients would interleave and break the
-         deterministic request->response stream property. *)
-      (try serve_channels t ic oc with Sys_error _ -> ());
-      (try Unix.close client with Unix.Unix_error _ -> ());
-      accept_loop ()
-    end
+    if not t.stopping then
+      if not (Simkit.Exec.protect (fun () -> t.active_clients < max_clients))
+      then begin
+        reap ~wait:false;
+        Unix.sleepf 0.02;
+        accept_loop ()
+      end
+      else begin
+        (* Wake periodically so a [shutdown] served on an existing
+           connection stops the listener without a further connect. *)
+        match Unix.select [ sock ] [] [] 0.2 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | [], _, _ ->
+            reap ~wait:false;
+            accept_loop ()
+        | _ ->
+            let client, _ = Unix.accept sock in
+            Simkit.Exec.protect (fun () ->
+                t.active_clients <- t.active_clients + 1);
+            let finished = ref false in
+            let task =
+              Simkit.Exec.spawn_task (fun () ->
+                  Fun.protect
+                    ~finally:(fun () -> finished := true)
+                    (handle client))
+            in
+            tasks := (task, finished) :: !tasks;
+            accept_loop ()
+      end
   in
   Fun.protect
     ~finally:(fun () ->
+      reap ~wait:true;
       (try Unix.close sock with Unix.Unix_error _ -> ());
       if Sys.file_exists path then Sys.remove path)
     accept_loop

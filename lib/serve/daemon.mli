@@ -1,29 +1,37 @@
-(** The analysis service daemon: a single-threaded, deterministic
-    request loop over newline-delimited JSON.
+(** The analysis service daemon: a deterministic request loop over
+    newline-delimited JSON.
 
     Requests are JSON objects [{"id": .., "verb": .., ...params}]; each
     produces zero or more ["trace"] envelope lines followed by exactly
     one ["response"] envelope line (a {!Core.Report} envelope whose
     meta carries the echoed [id], the [verb] and an [ok] flag). Verbs:
     [ping], [version], [analyze] (the {!Serve.Api.analyze} surface over
-    a slice-system file), [run] (one consensus run), [stats] (cache
-    and request counters) and [shutdown].
+    a slice-system file), [run] (one consensus run), [stats] (cache,
+    pool and request counters) and [shutdown].
 
-    The response stream is a pure function of the request stream —
-    byte-identical requests yield byte-identical responses, served
-    from a response cache on repeats — with the single intended
-    exception of [stats], whose counters reflect accumulated state
-    (that is what it is for). See DESIGN.md §14 for the protocol. *)
+    Per connection, the response stream is a pure function of the
+    request stream — byte-identical requests yield byte-identical
+    responses, served from a response cache on repeats — with the
+    single intended exception of [stats], whose counters reflect
+    accumulated state (that is what it is for). The stdio transport
+    is strictly sequential (the CI golden replay); the Unix-socket
+    transport serves several clients concurrently, each on a detached
+    executor task, all sharing the caches and the persistent worker
+    pool. See DESIGN.md §14 for the protocol and §18 for the
+    concurrency model. *)
 
 type t
 (** One daemon instance: its file and response caches plus the
     request counter. *)
 
-val create : ?cache_capacity:int -> unit -> t
+val create : ?cache_capacity:int -> ?jobs:int -> unit -> t
 (** [cache_capacity] (default: [STELLAR_CUP_CACHE_CAPACITY] if set,
     else 64) sizes the response cache and resizes the process-wide
     compiled-handle caches ({!Fbqs.Quorum.set_cache_capacity}, and
     {!Graphkit.Csr.set_cache_capacity} clamped to its default 16).
+    [jobs] (default 1) is the default Enum parallelism for [analyze]
+    requests; a request's own ["jobs"] field overrides it, and
+    payloads are byte-identical at every jobs count either way.
     @raise Invalid_argument below 1. *)
 
 val handle_line : t -> string -> string list
@@ -42,7 +50,17 @@ val serve_channels : t -> in_channel -> out_channel -> unit
 val serve_stdio : t -> unit
 (** {!serve_channels} over stdin/stdout — the CI transport. *)
 
-val serve_unix : t -> path:string -> unit
+val default_max_clients : int
+(** 4 — the default concurrent-connection cap of {!serve_unix}. *)
+
+val serve_unix : ?max_clients:int -> t -> path:string -> unit
 (** Listens on a Unix domain socket at [path] (an existing file there
-    is replaced), serving one client at a time until a client sends
-    [shutdown]. The socket file is removed on exit. *)
+    is replaced), serving up to [max_clients] (default 4) connections
+    concurrently — each on a detached {!Simkit.Exec} task — until a
+    client sends [shutdown]. Per-connection request order is
+    preserved; connections beyond the cap wait for a free slot. On
+    runtimes without concurrent tasks ({!Simkit.Exec.concurrent_tasks}
+    false) clients are served one at a time in accept order. After
+    [shutdown], the listener stops accepting, already-connected
+    clients are drained (they stop at their next request or EOF), and
+    the socket file is removed. *)

@@ -1,3 +1,5 @@
+module Fork_pool = Pool
+
 exception Job_failed = Pool.Job_failed
 
 type backend = Domains | Fork | Sequential
@@ -78,4 +80,53 @@ let map ?backend:forced ?chunk ~jobs f xs =
     | Fork ->
         if not fork_available then
           invalid_arg "Simkit.Exec.map: fork backend unavailable";
-        Pool.map_chunked ~chunk ~workers:(min jobs n) f xs
+        (* [chunk] is a throughput hint here, so raise it as needed to
+           fit the fork pool's one-byte chunk-token budget rather than
+           surface {!Pool.map_chunked}'s [Invalid_argument]. *)
+        let chunk = max chunk ((n + Pool.max_chunks - 1) / Pool.max_chunks) in
+        Pool.map_persistent ~chunk ~workers:(min jobs n) f xs
+
+(* ------------------------------------------------------------------ *)
+(* The persistent pool surface                                        *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_env_var = "STELLAR_CUP_JOBS"
+
+let jobs_from_env () =
+  match Sys.getenv_opt jobs_env_var with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None)
+
+let protect f =
+  Lazy.force arm_cache_protector;
+  Exec_domains.locked f
+
+type task = Exec_domains.task
+
+let spawn_task f =
+  (* Detached tasks (daemon client handlers) race on the shared
+     Core.Cache handles exactly like pool workers do: arm the
+     protector before the first one starts. *)
+  Lazy.force arm_cache_protector;
+  Exec_domains.detach f
+
+let join_task = Exec_domains.join_task
+let concurrent_tasks = domains_available
+
+(* Both backends keep their long-lived workers behind this one
+   facade; either side is empty when the other is in play (domains on
+   OCaml 5, forks on 4.14), so sums report whichever pool is live. *)
+module Pool = struct
+  let shutdown () =
+    Exec_domains.shutdown ();
+    Fork_pool.shutdown_persistent ()
+
+  let size () = Exec_domains.pool_size () + Fork_pool.persistent_workers ()
+  let peak () = Exec_domains.pool_peak () + Fork_pool.persistent_peak ()
+
+  let batches () =
+    Exec_domains.pool_batches () + Fork_pool.persistent_batches ()
+end

@@ -74,8 +74,70 @@ val map :
     On the fork backend results travel by [Marshal], so ['b] must be
     marshal-safe plain data there; the domain backend has no such
     restriction (results never leave the heap). Inputs and [f] are
-    never serialized on either backend.
+    never serialized on the domain backend; the warm fork pool ships
+    the job by closure [Marshal] when it can, silently reverting to a
+    per-call fork (plain inheritance) when the captures are not
+    marshal-safe — results are byte-identical either way.
+
+    Both backends keep their workers alive between calls (see
+    {!Pool}): the first parallel [map] pays the spawn cost, later ones
+    only dispatch.
 
     @raise Job_failed if any job raises (minimum-index failure wins),
     after all workers are collected.
     @raise Invalid_argument if a forced backend is unavailable. *)
+
+(** {1 The persistent worker pool} *)
+
+(** Lifecycle and occupancy of the process-wide worker pool behind
+    {!map} — parked domains on OCaml 5, parked fork workers on 4.14
+    (whichever backend is live; the other side reports zero). *)
+module Pool : sig
+  val shutdown : unit -> unit
+  (** Tears the live pool down (joins domains / EOFs+reaps fork
+      workers). Idempotent; the next parallel {!map} respawns lazily.
+      Registered [at_exit] on first spawn, so explicit calls are only
+      needed to reclaim workers mid-process. *)
+
+  val size : unit -> int
+  (** Workers currently parked (the submitting caller is not one). *)
+
+  val peak : unit -> int
+  (** High-water mark of {!size} over the process lifetime. *)
+
+  val batches : unit -> int
+  (** Parallel map batches executed so far (including batches the
+      1-core domain cap ran inline). *)
+end
+
+val jobs_env_var : string
+(** ["STELLAR_CUP_JOBS"] — the environment default behind every
+    [--jobs] flag (CLI, bench, daemon). An explicit flag always
+    wins. *)
+
+val jobs_from_env : unit -> int option
+(** The parsed {!jobs_env_var} value: [Some j] for a positive integer,
+    [None] when unset, empty or malformed. *)
+
+(** {1 Detached tasks and shared-state protection} *)
+
+val protect : (unit -> 'a) -> 'a
+(** Runs the thunk inside the executor's global critical section (the
+    same lock {!Core.Cache} is armed with). The only sanctioned
+    mutual-exclusion seam outside [lib/sim] (stellar-lint D6): the
+    daemon guards its connection counters with it. Identity on 4.14,
+    where nothing runs concurrently. *)
+
+type task
+(** A detached unit of work — the daemon's per-client connection
+    handlers. On OCaml 5 it runs on its own domain (not a pool seat:
+    these are IO-bound); on 4.14 {!spawn_task} runs it inline before
+    returning, so call sites degrade to sequential behaviour with no
+    further casing. *)
+
+val spawn_task : (unit -> unit) -> task
+val join_task : task -> unit
+
+val concurrent_tasks : bool
+(** Whether {!spawn_task} actually runs tasks concurrently
+    ([domains_available]). *)

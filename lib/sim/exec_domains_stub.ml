@@ -2,7 +2,9 @@
    switch (see exec_domains_native.ml for the real one). {!Exec} checks
    [available] before dispatching here, so [map_chunked] is
    unreachable; it raises rather than silently degrading so a dispatch
-   bug cannot masquerade as a slow sequential run. *)
+   bug cannot masquerade as a slow sequential run. The persistent-pool
+   surface is inert: there is never a pool, so the stats are zero and
+   [shutdown] is a no-op. *)
 
 let available = false
 
@@ -11,3 +13,16 @@ let locked f = f ()
 
 let map_chunked ~chunk:_ ~domains:_ _do_job _n =
   invalid_arg "Simkit.Exec: domain backend unavailable on this runtime"
+
+let shutdown () = ()
+let pool_size () = 0
+let pool_peak () = 0
+let pool_batches () = 0
+
+(* Without domains a "detached" task runs inline before [detach]
+   returns — the daemon's concurrent accept loop degrades to the old
+   one-client-at-a-time behaviour on 4.14. *)
+type task = unit
+
+let detach f = f ()
+let join_task () = ()

@@ -14,3 +14,24 @@ val map_chunked :
   chunk:int -> domains:int -> (int -> unit) -> int -> (int * string) list
 (** @raise Invalid_argument always — {!Exec} never dispatches here
     when [available] is [false]. *)
+
+val shutdown : unit -> unit
+(** No-op: there is never a pool to tear down. *)
+
+val pool_size : unit -> int
+(** Always [0]. *)
+
+val pool_peak : unit -> int
+(** Always [0]. *)
+
+val pool_batches : unit -> int
+(** Always [0]. *)
+
+type task
+(** Inert: the thunk already ran inside {!detach}. *)
+
+val detach : (unit -> unit) -> task
+(** Runs [f] inline before returning — no concurrency on 4.14. *)
+
+val join_task : task -> unit
+(** No-op. *)

@@ -48,18 +48,55 @@ val has_fork : bool
 (** Whether [Unix.fork] exists on this platform (everywhere but
     Windows). {!Exec} consults this to pick its fallback backend. *)
 
+val max_chunks : int
+(** Chunk ids must fit the one-byte jobserver token: at most 256
+    chunks per batch. {!map_chunked} and {!map_persistent} refuse
+    larger batches; {!Exec.map} raises its chunk size to stay under
+    the budget. *)
+
 val map_chunked : chunk:int -> workers:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map_chunked ~chunk ~workers f xs] — the fork backend of {!Exec}:
-    like {!map} but with dynamic load balancing (workers claim chunks
-    of [chunk] consecutive jobs from a jobserver-style token pipe) and
-    compact per-chunk result frames instead of one whole-bucket
-    message. Always forks — callers gate on {!has_fork} and [jobs];
-    use {!map} for the self-dispatching entry point. The chunk size is
-    raised as needed so there are at most 256 chunks.
+(** [map_chunked ~chunk ~workers f xs] — the per-call fork backend of
+    {!Exec}: like {!map} but with dynamic load balancing (workers
+    claim chunks of [chunk] consecutive jobs from a jobserver-style
+    token pipe) and compact per-chunk result frames instead of one
+    whole-bucket message. Always forks — callers gate on {!has_fork}
+    and [jobs]; use {!map} for the self-dispatching entry point.
 
     Same determinism contract as {!map}: results in input order,
     byte-identical to [List.map], and on failure the exception of the
     minimum-index failing job is re-raised as {!Job_failed} after all
     workers are reaped.
 
-    @raise Job_failed as described above. *)
+    @raise Job_failed as described above.
+    @raise Invalid_argument when [xs] at chunk size [chunk] needs more
+    than {!max_chunks} chunks — raise [chunk] instead. *)
+
+val map_persistent :
+  chunk:int -> workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** The warm variant of {!map_chunked}: workers are forked once per
+    process, parked on a [select] between batches, and fed job
+    descriptors over private command pipes (closure [Marshal] — fork
+    guarantees the identical binary it requires) plus chunk ids over
+    the same shared one-byte token pipe as {!map_chunked}. Byte-for-
+    byte the same results, ordering and minimum-index [Job_failed]
+    semantics; a job failure leaves the pool warm. Jobs whose captures
+    are not marshal-safe, and any transport fault, transparently fall
+    back to a fresh per-call {!map_chunked} (after tearing the pool
+    down in the fault case) — the caller never sees the difference.
+
+    @raise Job_failed as for {!map_chunked}.
+    @raise Invalid_argument as for {!map_chunked}. *)
+
+val shutdown_persistent : unit -> unit
+(** EOFs, reaps and forgets the persistent workers. Idempotent; a
+    later {!map_persistent} respawns a fresh pool. Also registered
+    [at_exit] on first spawn. *)
+
+val persistent_workers : unit -> int
+(** Currently parked persistent fork workers. *)
+
+val persistent_peak : unit -> int
+(** High-water mark of {!persistent_workers} this process. *)
+
+val persistent_batches : unit -> int
+(** Batches submitted to the persistent fork pool. *)

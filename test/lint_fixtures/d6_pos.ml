@@ -2,3 +2,5 @@
 let worker f = Domain.spawn f
 let guard m = Mutex.lock m
 let wake c = Condition.signal c
+let park c m = Condition.wait c m
+let flood c = Condition.broadcast c

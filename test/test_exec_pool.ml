@@ -1,0 +1,201 @@
+(* The persistent worker pool behind Simkit.Exec (DESIGN.md §18):
+   lifecycle (lazy spawn, reuse across batches, idempotent shutdown,
+   respawn), the chunk-token budget guard, the warm fork pool's
+   closure-Marshal transport with its silent per-call fallback, and
+   the STELLAR_CUP_JOBS environment default.
+
+   Worker counts are capped by the machine (one core spawns no domain
+   workers at all), so nothing here asserts absolute pool sizes — only
+   relations the facade guarantees everywhere: batches grow with every
+   parallel map (inline ones included), size never exceeds peak, and
+   shutdown leaves the pool empty but usable. *)
+
+module Exec = Simkit.Exec
+module Pool = Simkit.Pool
+
+let int_list = Alcotest.(list int)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* ---- facade lifecycle ------------------------------------------------- *)
+
+let test_batches_grow_and_results_stable () =
+  let xs = List.init 64 Fun.id in
+  let f x = (x * 7) - 3 in
+  let expected = List.map f xs in
+  let b0 = Exec.Pool.batches () in
+  Alcotest.check int_list "first map" expected (Exec.map ~jobs:4 f xs);
+  let b1 = Exec.Pool.batches () in
+  Alcotest.(check bool) "a batch was counted" true (b1 > b0);
+  Alcotest.check int_list "warm map" expected (Exec.map ~jobs:4 f xs);
+  Alcotest.(check bool) "another batch" true (Exec.Pool.batches () > b1);
+  Alcotest.(check bool) "size never exceeds peak" true
+    (Exec.Pool.size () <= Exec.Pool.peak ())
+
+let test_shutdown_idempotent_and_respawn () =
+  let xs = List.init 32 Fun.id in
+  let f x = x * x in
+  let expected = List.map f xs in
+  Alcotest.check int_list "warm the pool" expected (Exec.map ~jobs:4 f xs);
+  Exec.Pool.shutdown ();
+  Exec.Pool.shutdown ();
+  Alcotest.(check int) "no workers after shutdown" 0 (Exec.Pool.size ());
+  let b = Exec.Pool.batches () in
+  Alcotest.check int_list "map after shutdown respawns" expected
+    (Exec.map ~jobs:4 f xs);
+  Alcotest.(check bool) "respawned batch counted" true
+    (Exec.Pool.batches () > b)
+
+let test_min_index_failure_on_warm_pool () =
+  let xs = List.init 16 Fun.id in
+  (* warm first, then fail mid-batch: the minimum-index failure wins
+     and the pool answers the next map as if nothing happened *)
+  ignore (Exec.map ~jobs:4 (fun x -> x + 1) xs);
+  (try
+     ignore
+       (Exec.map ~chunk:1 ~jobs:4
+          (fun x ->
+            if x = 3 || x = 11 then failwith (Printf.sprintf "boom %d" x);
+            x)
+          xs);
+     Alcotest.fail "expected Job_failed"
+   with Exec.Job_failed msg ->
+     Alcotest.(check bool) "minimum index reported" true
+       (contains ~affix:"boom 3" msg));
+  Alcotest.check int_list "pool still serves after a failure"
+    (List.map (fun x -> x - 1) xs)
+    (Exec.map ~jobs:4 (fun x -> x - 1) xs)
+
+(* ---- chunk-token budget ------------------------------------------------ *)
+
+let test_chunk_budget_guard () =
+  if Exec.fork_available then begin
+    let xs n = List.init n Fun.id in
+    (* exactly at the budget: fine *)
+    Alcotest.check int_list "256 chunks fit"
+      (List.map succ (xs Pool.max_chunks))
+      (Pool.map_chunked ~chunk:1 ~workers:2 succ (xs Pool.max_chunks));
+    (* one over: a clear refusal, not a silent re-chunk *)
+    (try
+       ignore
+         (Pool.map_chunked ~chunk:1 ~workers:2 succ (xs (Pool.max_chunks + 1)));
+       Alcotest.fail "expected Invalid_argument"
+     with Invalid_argument msg ->
+       Alcotest.(check bool) "names the caller" true
+         (contains ~affix:"Simkit.Pool.map_chunked" msg);
+       Alcotest.(check bool) "suggests a chunk size" true
+         (contains ~affix:"raise ~chunk" msg));
+    (* Exec.map pre-clamps instead of surfacing the refusal *)
+    Alcotest.check int_list "Exec.map re-chunks transparently"
+      (List.map succ (xs 300))
+      (Exec.map ~backend:Exec.Fork ~chunk:1 ~jobs:2 succ (xs 300))
+  end
+
+(* ---- the warm fork pool ------------------------------------------------ *)
+
+let test_persistent_fork_lifecycle () =
+  if Exec.fork_available then begin
+    Pool.shutdown_persistent ();
+    let xs = List.init 20 Fun.id in
+    let expected = List.map succ xs in
+    Alcotest.check int_list "cold batch" expected
+      (Pool.map_persistent ~chunk:2 ~workers:2 succ xs);
+    let w = Pool.persistent_workers () in
+    Alcotest.(check bool) "workers parked between batches" true (w >= 2);
+    let b = Pool.persistent_batches () in
+    Alcotest.check int_list "warm batch, same workers" expected
+      (Pool.map_persistent ~chunk:2 ~workers:2 succ xs);
+    Alcotest.(check int) "no respawn on reuse" w (Pool.persistent_workers ());
+    Alcotest.(check bool) "batch counted" true (Pool.persistent_batches () > b);
+    (* a failing job leaves the pool warm *)
+    (try
+       ignore
+         (Pool.map_persistent ~chunk:1 ~workers:2
+            (fun x -> if x = 5 then failwith "kaput" else x)
+            xs);
+       Alcotest.fail "expected Job_failed"
+     with Pool.Job_failed msg ->
+       Alcotest.(check bool) "job error transported" true
+         (contains ~affix:"kaput" msg));
+    Alcotest.(check int) "still the same workers after a job failure" w
+      (Pool.persistent_workers ());
+    Pool.shutdown_persistent ();
+    Alcotest.(check int) "drained" 0 (Pool.persistent_workers ())
+  end
+
+let test_unmarshalable_capture_falls_back () =
+  if Exec.fork_available then begin
+    (* A channel capture cannot cross the command pipe by Marshal; the
+       call must silently revert to the per-call fork (which inherits
+       the closure) and still return List.map's bytes. *)
+    let ic = stdin in
+    let f x =
+      ignore (ic == ic);
+      x * 3
+    in
+    let xs = List.init 12 Fun.id in
+    Alcotest.check int_list "fallback result identical" (List.map f xs)
+      (Pool.map_persistent ~chunk:1 ~workers:2 f xs)
+  end
+
+let prop_persistent_matches_list_map =
+  QCheck.Test.make ~count:30
+    ~name:"Pool.map_persistent = List.map (any chunk, any workers)"
+    QCheck.(triple (small_list small_int) (int_range 1 5) (int_range 1 4))
+    (fun (xs, chunk, workers) ->
+      if not Exec.fork_available then true
+      else
+        let f x = (x * 31) land 255 in
+        Pool.map_persistent ~chunk ~workers f xs = List.map f xs)
+
+(* ---- the environment default ------------------------------------------- *)
+
+let test_jobs_from_env () =
+  let var = Exec.jobs_env_var in
+  let old = Sys.getenv_opt var in
+  let set v = Unix.putenv var v in
+  Fun.protect
+    ~finally:(fun () -> set (Option.value ~default:"" old))
+    (fun () ->
+      Alcotest.(check string) "the documented name" "STELLAR_CUP_JOBS" var;
+      set "4";
+      Alcotest.(check (option int)) "positive int" (Some 4)
+        (Exec.jobs_from_env ());
+      set " 8 ";
+      Alcotest.(check (option int)) "trimmed" (Some 8) (Exec.jobs_from_env ());
+      set "";
+      Alcotest.(check (option int)) "empty is unset" None
+        (Exec.jobs_from_env ());
+      set "0";
+      Alcotest.(check (option int)) "zero is malformed" None
+        (Exec.jobs_from_env ());
+      set "-3";
+      Alcotest.(check (option int)) "negative is malformed" None
+        (Exec.jobs_from_env ());
+      set "many";
+      Alcotest.(check (option int)) "garbage is malformed" None
+        (Exec.jobs_from_env ()))
+
+let suites =
+  [
+    ( "exec-pool",
+      [
+        Alcotest.test_case "batches grow, results stable" `Quick
+          test_batches_grow_and_results_stable;
+        Alcotest.test_case "shutdown idempotent, respawn works" `Quick
+          test_shutdown_idempotent_and_respawn;
+        Alcotest.test_case "min-index failure on a warm pool" `Quick
+          test_min_index_failure_on_warm_pool;
+        Alcotest.test_case "chunk-token budget guard" `Quick
+          test_chunk_budget_guard;
+        Alcotest.test_case "persistent fork pool lifecycle" `Quick
+          test_persistent_fork_lifecycle;
+        Alcotest.test_case "unmarshalable capture falls back" `Quick
+          test_unmarshalable_capture_falls_back;
+        QCheck_alcotest.to_alcotest prop_persistent_matches_list_map;
+        Alcotest.test_case "STELLAR_CUP_JOBS parsing" `Quick test_jobs_from_env;
+      ] );
+  ]

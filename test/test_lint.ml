@@ -62,7 +62,7 @@ let test_d5 () =
 
 let test_d6 () =
   check_active "d6 positives"
-    [ (2, "D6"); (3, "D6"); (4, "D6") ]
+    [ (2, "D6"); (3, "D6"); (4, "D6"); (5, "D6"); (6, "D6") ]
     (run "d6_pos.ml");
   check_active "d6 negatives" [] (run "d6_neg.ml");
   check_active "parallelism primitives are legal under lib/sim" []
